@@ -1,0 +1,148 @@
+// Package anomalyx is a Go implementation of the anomaly-extraction
+// system of Brauckhoff, Dimitropoulos, Wagner and Salamatian, "Anomaly
+// Extraction in Backbone Networks Using Association Rules" (ACM IMC 2009;
+// extended in IEEE/ACM ToN 20(6), 2012).
+//
+// The pipeline monitors NetFlow traffic with histogram-based detectors
+// (randomized histogram clones, Kullback–Leibler distance against the
+// previous interval, a robust MAD threshold), consolidates alarm
+// meta-data by l-of-n voting and cross-detector union, prefilters the
+// suspicious flows, and summarizes them into maximal frequent item-sets
+// with a modified Apriori — the item-sets an operator inspects instead of
+// hundreds of thousands of raw flows.
+//
+// This package is the public facade: it re-exports the pipeline types so
+// that applications need a single import.
+//
+//	p, _ := anomalyx.NewPipeline(anomalyx.Config{})
+//	for _, rec := range intervalFlows {
+//		p.Observe(rec)
+//	}
+//	rep, _ := p.EndInterval()
+//	if rep.Alarm {
+//		for _, set := range rep.ItemSets {
+//			fmt.Println(set.String())
+//		}
+//	}
+package anomalyx
+
+import (
+	"anomalyx/internal/core"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining"
+	"anomalyx/internal/mining/apriori"
+	"anomalyx/internal/mining/eclat"
+	"anomalyx/internal/mining/fpgrowth"
+	"anomalyx/internal/netflow"
+	"anomalyx/internal/prefilter"
+)
+
+// Core model types.
+type (
+	// Flow is one unidirectional flow record (the NetFlow v5
+	// abstraction: 5-tuple plus packet and byte counts).
+	Flow = flow.Record
+	// FeatureKind identifies one of the seven transaction features.
+	FeatureKind = flow.FeatureKind
+	// Item is one (feature, value) pair; ItemSet a frequent item-set.
+	Item = itemset.Item
+	// ItemSet is a frequent item-set with its support count.
+	ItemSet = itemset.Set
+	// Transaction is a flow viewed as a seven-item transaction.
+	Transaction = itemset.Transaction
+	// MetaData is the per-feature alarm annotation driving prefiltering.
+	MetaData = detector.MetaData
+)
+
+// Pipeline types.
+type (
+	// Config parameterizes the extraction pipeline (Table III).
+	Config = core.Config
+	// DetectorConfig parameterizes one histogram-based detector.
+	DetectorConfig = detector.Config
+	// Pipeline is the online anomaly-extraction engine.
+	Pipeline = core.Pipeline
+	// Report is the per-interval outcome.
+	Report = core.Report
+	// MiningResult is a frequent item-set mining outcome.
+	MiningResult = mining.Result
+	// Miner is a frequent item-set mining algorithm.
+	Miner = mining.Miner
+)
+
+// MetricKind selects the detector's distribution-change measure.
+type MetricKind = detector.MetricKind
+
+// Detector metrics: the paper's KL distance and the entropy distance of
+// Table I's entropy-based detectors.
+const (
+	MetricKL      = detector.MetricKL
+	MetricEntropy = detector.MetricEntropy
+)
+
+// The seven transaction features.
+const (
+	SrcIP   = flow.SrcIP
+	DstIP   = flow.DstIP
+	SrcPort = flow.SrcPort
+	DstPort = flow.DstPort
+	Proto   = flow.Proto
+	Packets = flow.Packets
+	Bytes   = flow.Bytes
+)
+
+// NewPipeline builds an extraction pipeline; zero-value Config fields take
+// the paper's defaults (five features, k=1024, n=l=3, alpha=3, modified
+// Apriori, union prefilter, minimum support 5% of the suspicious flows).
+func NewPipeline(cfg Config) (*Pipeline, error) { return core.New(cfg) }
+
+// ExtractOffline runs the extraction stage alone on a recorded interval:
+// prefilter recs with meta and mine the suspicious set (the post-mortem
+// alarm-investigation mode).
+func ExtractOffline(cfg Config, recs []Flow, meta MetaData) (*Report, error) {
+	return core.ExtractOffline(cfg, recs, meta)
+}
+
+// NewMetaData returns an empty alarm annotation for offline extraction.
+func NewMetaData() MetaData { return detector.NewMetaData() }
+
+// Miners.
+func Apriori() Miner  { return apriori.New() }
+func FPGrowth() Miner { return fpgrowth.New() }
+func Eclat() Miner    { return eclat.New() }
+
+// PrefilterUnion returns the paper's union prefilter strategy.
+func PrefilterUnion() prefilter.Strategy { return prefilter.Union{} }
+
+// PrefilterIntersection returns the intersection baseline (§II-A shows it
+// can miss multistage anomalies entirely).
+func PrefilterIntersection() prefilter.Strategy { return prefilter.Intersection{} }
+
+// NetFlow I/O.
+type (
+	// FlowReader streams flow records from concatenated NetFlow v5
+	// export packets.
+	FlowReader = netflow.Reader
+	// FlowWriter batches flow records into NetFlow v5 export packets.
+	FlowWriter = netflow.Writer
+	// V9Decoder parses NetFlow v9 export datagrams (template-based,
+	// RFC 3954) into flow records.
+	V9Decoder = netflow.V9Decoder
+	// V9Encoder serializes flow records as v9 export datagrams.
+	V9Encoder = netflow.V9Encoder
+)
+
+// NewV9Decoder returns a v9 decoder with an empty template cache.
+var NewV9Decoder = netflow.NewV9Decoder
+
+// NewV9Encoder returns a v9 encoder for an exporter booted at bootMs.
+var NewV9Encoder = netflow.NewV9Encoder
+
+// NewFlowReader wraps an io.Reader of concatenated v5 packets.
+var NewFlowReader = netflow.NewReader
+
+// NewFlowWriter wraps an io.Writer; bootMs is the simulated exporter boot
+// time in Unix milliseconds.
+var NewFlowWriter = netflow.NewWriter

@@ -1,0 +1,204 @@
+package anomalyx_test
+
+import (
+	"bytes"
+	"testing"
+
+	"anomalyx"
+	"anomalyx/internal/hash"
+	"anomalyx/internal/stats"
+)
+
+// hashFunc and newBenchPipeline are shared with bench_test.go.
+func hashFunc() hash.Func { return hash.New(7) }
+
+func newBenchPipeline() (*anomalyx.Pipeline, error) {
+	return anomalyx.NewPipeline(anomalyx.Config{
+		Detector: anomalyx.DetectorConfig{Bins: 1024, TrainIntervals: 4},
+	})
+}
+
+func TestFacadePipelineEndToEnd(t *testing.T) {
+	p, err := anomalyx.NewPipeline(anomalyx.Config{
+		Detector:        anomalyx.DetectorConfig{Bins: 256, TrainIntervals: 6},
+		RelativeSupport: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(3)
+	benign := func() anomalyx.Flow {
+		return anomalyx.Flow{
+			SrcAddr: uint32(r.IntN(50000)), DstAddr: uint32(r.IntN(2000)),
+			SrcPort: uint16(r.IntN(60000)), DstPort: uint16(r.IntN(1500)),
+			Protocol: 6, Packets: uint32(1 + r.IntN(20)), Bytes: uint64(100 + r.IntN(2000)),
+		}
+	}
+	var rep *anomalyx.Report
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 8000; j++ {
+			p.Observe(benign())
+		}
+		if rep, err = p.EndInterval(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 8000; j++ {
+		p.Observe(benign())
+	}
+	for j := 0; j < 4000; j++ {
+		p.Observe(anomalyx.Flow{
+			SrcAddr: uint32(r.IntN(1 << 28)), DstAddr: 42, DstPort: 31337,
+			SrcPort: uint16(r.IntN(60000)), Protocol: 6, Packets: 1, Bytes: 40,
+		})
+	}
+	rep, err = p.EndInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm {
+		t.Fatal("facade pipeline missed the flood")
+	}
+	found := false
+	for i := range rep.ItemSets {
+		for _, it := range rep.ItemSets[i].Items {
+			if it.Kind == anomalyx.DstPort && it.Value == 31337 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("flood not summarized: %v", rep.ItemSets)
+	}
+}
+
+func TestFacadeOfflineExtraction(t *testing.T) {
+	meta := anomalyx.NewMetaData()
+	meta.Add(anomalyx.DstPort, 9996)
+	flows := make([]anomalyx.Flow, 0, 1000)
+	for i := 0; i < 600; i++ {
+		flows = append(flows, anomalyx.Flow{DstPort: 9996, Protocol: 6, Packets: 2, Bytes: 96})
+	}
+	for i := 0; i < 400; i++ {
+		flows = append(flows, anomalyx.Flow{DstPort: 80, Protocol: 6, Packets: 5, Bytes: 700})
+	}
+	rep, err := anomalyx.ExtractOffline(anomalyx.Config{MinSupport: 100}, flows, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SuspiciousFlows != 600 {
+		t.Errorf("suspicious = %d, want 600", rep.SuspiciousFlows)
+	}
+	if len(rep.ItemSets) != 1 || rep.ItemSets[0].Support != 600 {
+		t.Errorf("item-sets: %v", rep.ItemSets)
+	}
+}
+
+func TestFacadeMiners(t *testing.T) {
+	names := map[string]anomalyx.Miner{
+		"apriori": anomalyx.Apriori(), "fp-growth": anomalyx.FPGrowth(), "eclat": anomalyx.Eclat(),
+	}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Errorf("miner %q reports %q", want, m.Name())
+		}
+	}
+}
+
+func TestFacadeNetFlowIO(t *testing.T) {
+	const bootMs = int64(1700000000000)
+	var buf bytes.Buffer
+	w := anomalyx.NewFlowWriter(&buf, bootMs)
+	in := anomalyx.Flow{
+		SrcAddr: 1, DstAddr: 2, SrcPort: 3, DstPort: 4, Protocol: 6,
+		Packets: 5, Bytes: 600, Start: bootMs + 1000, End: bootMs + 2000,
+	}
+	if err := w.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := anomalyx.NewFlowReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != in {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestFacadePrefilterStrategies(t *testing.T) {
+	if anomalyx.PrefilterUnion().Name() != "union" {
+		t.Error("union name")
+	}
+	if anomalyx.PrefilterIntersection().Name() != "intersection" {
+		t.Error("intersection name")
+	}
+}
+
+func TestFacadeV9RoundTrip(t *testing.T) {
+	const bootMs = int64(1700000000000)
+	in := []anomalyx.Flow{{
+		SrcAddr: 10, DstAddr: 20, SrcPort: 30, DstPort: 40, Protocol: 6,
+		TCPFlags: 2, Packets: 5, Bytes: 500, Start: bootMs + 100, End: bootMs + 200,
+	}}
+	pkt, err := anomalyx.NewV9Encoder(bootMs, 559).Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := anomalyx.NewV9Decoder().Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != in[0] {
+		t.Errorf("v9 facade round trip: %+v", got)
+	}
+}
+
+func TestFacadeEntropyMetricPipeline(t *testing.T) {
+	p, err := anomalyx.NewPipeline(anomalyx.Config{
+		Detector: anomalyx.DetectorConfig{
+			Bins: 256, TrainIntervals: 6, Metric: anomalyx.MetricEntropy,
+		},
+		RelativeSupport: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(21)
+	benign := func() anomalyx.Flow {
+		return anomalyx.Flow{
+			SrcAddr: uint32(r.IntN(3000)), DstAddr: uint32(r.IntN(300)),
+			SrcPort: uint16(r.IntN(60000)), DstPort: uint16(r.IntN(800)),
+			Protocol: 6, Packets: uint32(1 + r.IntN(20)), Bytes: uint64(100 + r.IntN(2000)),
+		}
+	}
+	for i := 0; i < 14; i++ {
+		for j := 0; j < 6000; j++ {
+			p.Observe(benign())
+		}
+		if _, err := p.EndInterval(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 6000; j++ {
+		p.Observe(benign())
+	}
+	for j := 0; j < 3000; j++ {
+		p.Observe(anomalyx.Flow{
+			SrcAddr: uint32(r.IntN(1 << 28)), DstAddr: 777, DstPort: 7777,
+			SrcPort: uint16(r.IntN(60000)), Protocol: 6, Packets: 1, Bytes: 40,
+		})
+	}
+	rep, err := p.EndInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm {
+		t.Fatal("entropy-metric pipeline missed the flood")
+	}
+	if len(rep.ItemSets) == 0 {
+		t.Fatal("no item-sets extracted")
+	}
+}

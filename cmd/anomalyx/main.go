@@ -1,0 +1,145 @@
+// Command anomalyx runs the anomaly-extraction pipeline over a NetFlow v5
+// trace file (as written by cmd/tracegen or any collector dumping v5
+// export packets) and reports, per measurement interval, the detector
+// alarms and the extracted maximal item-sets.
+//
+// Usage:
+//
+//	anomalyx -in trace.nf5 [-interval 15m] [-minsup N | -relsup 0.05]
+//	         [-miner apriori|fp-growth|eclat] [-prefilter union|intersection]
+//	         [-bins 1024] [-clones 3] [-votes 3] [-alpha 3] [-top 20] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"anomalyx"
+	"anomalyx/internal/mining"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input NetFlow v5 trace file (required)")
+		interval = flag.Duration("interval", 15*time.Minute, "measurement interval length")
+		minsup   = flag.Int("minsup", 0, "absolute minimum support (0 = use -relsup)")
+		relsup   = flag.Float64("relsup", 0.05, "minimum support as a fraction of the suspicious flows")
+		miner    = flag.String("miner", "apriori", "mining algorithm: apriori, fp-growth, or eclat")
+		prefilt  = flag.String("prefilter", "union", "prefilter strategy: union or intersection")
+		bins     = flag.Int("bins", 1024, "histogram bins k")
+		clones   = flag.Int("clones", 3, "histogram clones n")
+		votes    = flag.Int("votes", 3, "votes l required to keep a feature value")
+		alpha    = flag.Float64("alpha", 3, "MAD threshold multiplier")
+		train    = flag.Int("train", 12, "training intervals before alarms may fire")
+		top      = flag.Int("top", 20, "item-sets to print per alarm")
+		verbose  = flag.Bool("v", false, "print every interval, not only alarms")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "anomalyx: -in is required")
+		os.Exit(2)
+	}
+
+	cfg := anomalyx.Config{
+		Detector: anomalyx.DetectorConfig{
+			Bins: *bins, Clones: *clones, Votes: *votes,
+			Alpha: *alpha, TrainIntervals: *train,
+		},
+		MinSupport:      *minsup,
+		RelativeSupport: *relsup,
+	}
+	switch *miner {
+	case "apriori":
+		cfg.Miner = anomalyx.Apriori()
+	case "fp-growth":
+		cfg.Miner = anomalyx.FPGrowth()
+	case "eclat":
+		cfg.Miner = anomalyx.Eclat()
+	default:
+		fmt.Fprintf(os.Stderr, "anomalyx: unknown miner %q\n", *miner)
+		os.Exit(2)
+	}
+	switch *prefilt {
+	case "union":
+		cfg.Prefilter = anomalyx.PrefilterUnion()
+	case "intersection":
+		cfg.Prefilter = anomalyx.PrefilterIntersection()
+	default:
+		fmt.Fprintf(os.Stderr, "anomalyx: unknown prefilter %q\n", *prefilt)
+		os.Exit(2)
+	}
+
+	p, err := anomalyx.NewPipeline(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	r := anomalyx.NewFlowReader(f)
+	intervalMs := interval.Milliseconds()
+	var boundary int64 // end of the current interval; set from the first flow
+	idx := 0
+	alarms := 0
+
+	flush := func() {
+		rep, err := p.EndInterval()
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Alarm || *verbose {
+			printReport(rep, idx, *top)
+		}
+		if rep.Alarm {
+			alarms++
+		}
+		idx++
+	}
+
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if boundary == 0 {
+			boundary = rec.Start - rec.Start%intervalMs + intervalMs
+		}
+		for rec.Start >= boundary {
+			flush()
+			boundary += intervalMs
+		}
+		p.Observe(rec)
+	}
+	flush()
+	fmt.Printf("\nprocessed %d intervals, %d alarms\n", idx, alarms)
+}
+
+func printReport(rep *anomalyx.Report, idx, top int) {
+	if !rep.Alarm {
+		fmt.Printf("interval %4d: %7d flows, no alarm\n", idx, rep.TotalFlows)
+		return
+	}
+	fmt.Printf("interval %4d: %7d flows  ALARM  suspicious=%d minsup=%d itemsets=%d (R=%.0f)\n",
+		idx, rep.TotalFlows, rep.SuspiciousFlows, rep.MinSupport, len(rep.ItemSets), rep.CostReduction)
+	sets := rep.ItemSets
+	if top < len(sets) {
+		sets = mining.TopK(sets, top)
+	}
+	for i := range sets {
+		fmt.Printf("    %s\n", sets[i].String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anomalyx:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§III) on the synthetic trace. Run with no arguments for the
+// full set at quick scale, name specific experiments, or pass -scale full
+// for the two-week evaluation (minutes of runtime).
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [table2 table3 table4 fig4 fig5 fig6
+//	             fig7 fig8 fig9 fig10 sasser miners voting]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"anomalyx/internal/experiments"
+)
+
+var order = []string{
+	"table2", "table3", "table4", "fig4", "fig5", "fig6",
+	"fig7", "fig8", "fig9", "fig10", "sasser", "miners", "voting",
+	"sketch", "hhh",
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "trace scale: quick (two days) or full (two weeks)")
+	seed := flag.Uint64("seed", 20071203, "scenario seed for table2/sasser/miners")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+
+	want := flag.Args()
+	if len(want) == 0 {
+		want = order
+	}
+	sel := map[string]bool{}
+	for _, w := range want {
+		sel[strings.ToLower(w)] = true
+	}
+
+	// Experiments that need a trace run share one pass.
+	needsRun := false
+	for _, name := range []string{"table4", "fig4", "fig5", "fig6", "fig9", "fig10", "voting", "sketch", "hhh"} {
+		if sel[name] {
+			needsRun = true
+		}
+	}
+	var tr *experiments.TraceRun
+	if needsRun {
+		fmt.Fprintf(os.Stderr, "running %s trace pass...\n", *scaleFlag)
+		t0 := time.Now()
+		var err error
+		tr, err = experiments.Run(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace pass done in %v\n\n", time.Since(t0).Round(time.Second))
+	}
+	var sweep *experiments.SweepResult
+	if sel["fig9"] || sel["fig10"] {
+		fmt.Fprintln(os.Stderr, "running support sweep over anomalous intervals...")
+		var err error
+		sweep, err = experiments.RunSweep(tr, nil)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, name := range order {
+		if !sel[name] {
+			continue
+		}
+		switch name {
+		case "table2":
+			res, err := experiments.TableII(*seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Report.String())
+			fmt.Println(res.Levels.String())
+			fmt.Printf("maximal item-sets: %d; carrying dstPort=7000: %d (paper: 15 and 3)\n\n",
+				len(res.Mining.Maximal), res.PortSevenK)
+		case "table3":
+			fmt.Println(experiments.TableIII(scale).String())
+		case "table4":
+			res, err := experiments.TableIV(tr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Report.String())
+		case "fig4":
+			res, err := experiments.Fig4(tr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Figure.String())
+			fmt.Printf("threshold crossings in window: %d\n\n", res.AlarmsAboveThreshold)
+		case "fig5":
+			res, err := experiments.Fig5(tr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Figure.String())
+			fmt.Printf("bins removed: %d, converged: %v\n\n", res.BinsRemoved, res.Converged)
+		case "fig6":
+			res, err := experiments.Fig6(tr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Figure.String())
+			for c, auc := range res.AUC {
+				fmt.Printf("clone %d AUC: %.4f  TPR@FPR0.05: %.2f  TPR@FPR0.10: %.2f\n",
+					c, auc, res.Curves[c].TPRAt(0.05), res.Curves[c].TPRAt(0.10))
+			}
+			fmt.Println()
+		case "fig7":
+			fmt.Println(experiments.Fig7(0.97).Figure.String())
+		case "fig8":
+			fmt.Println(experiments.Fig8(1, 1024).Figure.String())
+			fmt.Println(experiments.Fig8(5, 1024).Figure.String())
+		case "fig9":
+			res := experiments.Fig9(sweep)
+			fmt.Println(res.Figure.String())
+			fmt.Printf("intervals: %d, always-zero-FP: %d (%.0f%%), extraction misses at lowest support: %d\n",
+				res.Intervals, res.ZeroFPIntervals,
+				100*float64(res.ZeroFPIntervals)/float64(res.Intervals), res.MissedEvents)
+			fmt.Printf("zero-FP intervals per support: %v\n\n", res.ZeroFPPerSupport)
+		case "fig10":
+			fmt.Println(experiments.Fig10(sweep).Figure.String())
+		case "sasser":
+			res, err := experiments.Sasser(*seed, 20000, 500)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Report.String())
+			for i := range res.UnionItemSets {
+				fmt.Printf("    %s\n", res.UnionItemSets[i].String())
+			}
+			fmt.Println()
+		case "miners":
+			res, err := experiments.MinerComparison(*seed, nil, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Report.String())
+		case "voting":
+			res, err := experiments.VotingAblation(tr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Report.String())
+		case "sketch":
+			res, err := experiments.SketchVsClones(tr, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Report.String())
+		case "hhh":
+			res, err := experiments.HHHBaseline(tr, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Report.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Sasser: the union-vs-intersection argument of §II-A on a multistage
+// worm. The three propagation stages (port-445 scans, port-9996 backdoor
+// connections, 16 kB executable downloads) have pairwise flow-disjoint
+// meta-data: intersecting the meta-data selects zero flows, while the
+// union covers every stage and lets Apriori summarize each one.
+//
+// Run with: go run ./examples/sasser
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anomalyx"
+	"anomalyx/internal/tracegen"
+)
+
+func main() {
+	d := tracegen.SasserScenario(20071203, 20000)
+	fmt.Printf("interval: %d flows total; worm stages: scans=%d backdoor=%d downloads=%d\n\n",
+		len(d.Flows), d.StageFlows[0], d.StageFlows[1], d.StageFlows[2])
+
+	// The alarm meta-data a detector bank would provide: the SYN-scan
+	// port, the backdoor port, and the characteristic flow size.
+	meta := anomalyx.NewMetaData()
+	for _, stage := range d.Meta {
+		for _, fv := range stage {
+			meta.Add(fv.Kind, fv.Value)
+			fmt.Printf("meta-data: %s\n", fv)
+		}
+	}
+
+	for _, strat := range []struct {
+		name string
+		cfg  anomalyx.Config
+	}{
+		{"union", anomalyx.Config{Prefilter: anomalyx.PrefilterUnion(), MinSupport: 400, KeepSuspicious: true}},
+		{"intersection", anomalyx.Config{Prefilter: anomalyx.PrefilterIntersection(), MinSupport: 400, KeepSuspicious: true}},
+	} {
+		rep, err := anomalyx.ExtractOffline(strat.cfg, d.Flows, meta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s prefilter ---\n", strat.name)
+		fmt.Printf("suspicious flows: %d\n", rep.SuspiciousFlows)
+		if rep.SuspiciousFlows == 0 {
+			fmt.Println("nothing selected: the multistage anomaly is invisible to this strategy")
+			continue
+		}
+		fmt.Printf("maximal item-sets (minsup %d):\n", rep.MinSupport)
+		for i := range rep.ItemSets {
+			fmt.Println("  ", rep.ItemSets[i].String())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Streaming: online detection over a NetFlow byte stream plus
+// sliding-window mining. A generator goroutine writes NetFlow v5 packets
+// into a pipe (standing in for a router's export stream); the consumer
+// side parses flows as they arrive, feeds the pipeline at interval
+// boundaries, and keeps a sliding-window Eclat miner with the most recent
+// flows for ad-hoc "what is frequent right now" queries — the streaming
+// extension of §V.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"anomalyx"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining/eclat"
+	"anomalyx/internal/tracegen"
+)
+
+func main() {
+	cfg := tracegen.SmallConfig()
+	cfg.Intervals = 30
+	cfg.BaseFlows = 8000
+	cfg.Events = tracegen.Schedule(cfg.Intervals, cfg.BaseFlows)
+	gen := tracegen.New(cfg)
+	fmt.Printf("streaming %d intervals; ground-truth events at intervals: ", cfg.Intervals)
+	for _, ev := range gen.GroundTruth() {
+		fmt.Printf("%d(%s) ", ev.Start, ev.Class)
+	}
+	fmt.Println()
+
+	// Producer: serialize the trace as NetFlow v5 packets into a pipe.
+	pr, pw := io.Pipe()
+	go func() {
+		w := anomalyx.NewFlowWriter(pw, cfg.IntervalStart(0))
+		for idx := 0; idx < cfg.Intervals; idx++ {
+			for _, rec := range gen.Interval(idx) {
+				if err := w.Write(rec); err != nil {
+					pw.CloseWithError(err)
+					return
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		pw.Close()
+	}()
+
+	// Consumer: parse flows, close pipeline intervals on time
+	// boundaries, and keep a sliding window of the last 20k flows.
+	p, err := anomalyx.NewPipeline(anomalyx.Config{
+		Detector:        anomalyx.DetectorConfig{Bins: 512, TrainIntervals: 6},
+		RelativeSupport: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	window := eclat.NewWindow(20000)
+
+	r := anomalyx.NewFlowReader(pr)
+	intervalMs := cfg.IntervalLen.Milliseconds()
+	boundary := cfg.IntervalStart(0) + intervalMs
+	idx := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		for rec.Start >= boundary {
+			report(p, window, idx)
+			boundary += intervalMs
+			idx++
+		}
+		p.Observe(rec)
+		window.Push(itemset.FromFlow(&rec))
+	}
+	report(p, window, idx)
+}
+
+func report(p *anomalyx.Pipeline, window *eclat.Window, idx int) {
+	rep, err := p.EndInterval()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Alarm {
+		fmt.Printf("interval %2d: %6d flows, quiet\n", idx, rep.TotalFlows)
+		return
+	}
+	fmt.Printf("interval %2d: %6d flows, ALARM -> %d item-sets\n",
+		idx, rep.TotalFlows, len(rep.ItemSets))
+	for i := range rep.ItemSets {
+		fmt.Printf("     pipeline: %s\n", rep.ItemSets[i].String())
+	}
+	// Ad-hoc query against the sliding window: what is frequent in the
+	// most recent traffic right now, without waiting for the interval?
+	res, err := window.Mine(window.Len() / 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := res.Maximal
+	if len(top) > 3 {
+		top = top[:3]
+	}
+	for i := range top {
+		fmt.Printf("     window  : %s\n", top[i].String())
+	}
+}

@@ -1,0 +1,233 @@
+// Package core assembles the paper's end-to-end anomaly-extraction
+// pipeline (Fig. 3): histogram-based detectors monitor per-feature flow
+// distributions online; on an alarm, the union of the detectors' voted
+// meta-data prefilters the interval's flows to a suspicious set, and
+// frequent item-set mining summarizes the suspicious set into the maximal
+// item-sets an operator inspects.
+package core
+
+import (
+	"fmt"
+
+	"anomalyx/internal/cost"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining"
+	"anomalyx/internal/mining/apriori"
+	"anomalyx/internal/prefilter"
+)
+
+// Config carries the pipeline parameters (Table III).
+type Config struct {
+	// Features lists the monitored traffic features (default: the
+	// paper's five — srcIP, dstIP, srcPort, dstPort, packets).
+	Features []flow.FeatureKind
+	// Detector is the per-feature detector template (bins k, clones n,
+	// votes l, threshold multiplier alpha, training window).
+	Detector detector.Config
+	// MinSupport is the absolute Apriori minimum support s. When 0,
+	// RelativeSupport applies.
+	MinSupport int
+	// RelativeSupport expresses s as a fraction of the suspicious-flow
+	// count; the paper's guidance is 1–10% of the input flows (§II-E).
+	// Default 0.05.
+	RelativeSupport float64
+	// Miner is the frequent item-set algorithm (default: the modified
+	// Apriori of §II-B).
+	Miner mining.Miner
+	// Prefilter selects the suspicious flows from the meta-data
+	// (default: union, the paper's choice).
+	Prefilter prefilter.Strategy
+	// KeepSuspicious retains the suspicious flows in each report (for
+	// forensics and tests; costs memory on big intervals).
+	KeepSuspicious bool
+	// QuantizeSizes buckets the packets and bytes items to powers of two
+	// before mining (§V's quantitative-features extension): flow-size
+	// anomalies with slightly varying sizes then aggregate into one
+	// item-set instead of fragmenting below the minimum support.
+	QuantizeSizes bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RelativeSupport == 0 {
+		c.RelativeSupport = 0.05
+	}
+	if c.Miner == nil {
+		c.Miner = apriori.New()
+	}
+	if c.Prefilter == nil {
+		c.Prefilter = prefilter.Union{}
+	}
+	return c
+}
+
+// Report is the outcome of one measurement interval.
+type Report struct {
+	Interval int
+	// Detection is the raw detector-bank outcome, including per-clone
+	// KL distances and the voted meta-data.
+	Detection detector.BankResult
+	// Alarm mirrors Detection.Alarm.
+	Alarm bool
+	// TotalFlows is the interval's flow count; SuspiciousFlows the
+	// prefiltered count (0 unless Alarm).
+	TotalFlows      int
+	SuspiciousFlows int
+	// MinSupport is the absolute support used for mining this interval.
+	MinSupport int
+	// Mining holds the full mining result; ItemSets the maximal
+	// item-sets (the operator-facing summary). Both nil/empty unless
+	// Alarm.
+	Mining   *mining.Result
+	ItemSets []itemset.Set
+	// CostReduction is R = TotalFlows / len(ItemSets) (§III-F); +Inf
+	// when mining returned nothing, 0 when there was no alarm.
+	CostReduction float64
+	// Suspicious holds the prefiltered flows when KeepSuspicious is set.
+	Suspicious []flow.Record
+}
+
+// Pipeline is the online anomaly-extraction engine. Feed flows with
+// Observe and close intervals with EndInterval; it is not safe for
+// concurrent use.
+type Pipeline struct {
+	cfg    Config
+	bank   *detector.Bank
+	buffer []flow.Record
+}
+
+// New builds a pipeline from cfg.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinSupport < 0 {
+		return nil, fmt.Errorf("core: negative minimum support %d", cfg.MinSupport)
+	}
+	if cfg.MinSupport == 0 && (cfg.RelativeSupport <= 0 || cfg.RelativeSupport > 1) {
+		return nil, fmt.Errorf("core: relative support %v out of (0,1]", cfg.RelativeSupport)
+	}
+	bank, err := detector.NewBank(detector.BankConfig{
+		Features: cfg.Features,
+		Template: cfg.Detector,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg, bank: bank}, nil
+}
+
+// Config returns the pipeline's effective configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Observe feeds one flow of the current interval.
+func (p *Pipeline) Observe(rec flow.Record) {
+	p.buffer = append(p.buffer, rec)
+	p.bank.Observe(&rec)
+}
+
+// EndInterval closes the current interval: runs detection and, on an
+// alarm, extraction (prefilter + mining). The flow buffer is cleared.
+func (p *Pipeline) EndInterval() (*Report, error) {
+	det := p.bank.EndInterval()
+	rep := &Report{
+		Interval:   det.Interval,
+		Detection:  det,
+		Alarm:      det.Alarm,
+		TotalFlows: len(p.buffer),
+	}
+	if det.Alarm && det.Meta.Count() > 0 {
+		if err := p.extract(rep, det.Meta); err != nil {
+			return nil, err
+		}
+	}
+	p.buffer = p.buffer[:0]
+	return rep, nil
+}
+
+// ProcessInterval is the batch convenience: Observe all recs, then
+// EndInterval.
+func (p *Pipeline) ProcessInterval(recs []flow.Record) (*Report, error) {
+	for i := range recs {
+		p.Observe(recs[i])
+	}
+	return p.EndInterval()
+}
+
+// extract runs prefiltering and mining for an alarming interval.
+func (p *Pipeline) extract(rep *Report, meta detector.MetaData) error {
+	suspicious := prefilter.Filter(p.cfg.Prefilter, meta, p.buffer)
+	rep.SuspiciousFlows = len(suspicious)
+	if p.cfg.KeepSuspicious {
+		rep.Suspicious = suspicious
+	}
+	if len(suspicious) == 0 {
+		rep.CostReduction = cost.Reduction(rep.TotalFlows, 0)
+		return nil
+	}
+	minsup := p.supportFor(len(suspicious))
+	rep.MinSupport = minsup
+
+	txs := itemset.FromFlows(suspicious)
+	if p.cfg.QuantizeSizes {
+		txs = itemset.QuantizeAll(txs, itemset.SizeKinds...)
+	}
+	res, err := p.cfg.Miner.Mine(txs, minsup)
+	if err != nil {
+		return fmt.Errorf("core: mining interval %d: %w", rep.Interval, err)
+	}
+	rep.Mining = res
+	rep.ItemSets = res.Maximal
+	rep.CostReduction = cost.Reduction(rep.TotalFlows, len(rep.ItemSets))
+	return nil
+}
+
+// supportFor resolves the absolute minimum support for a suspicious-flow
+// count.
+func (p *Pipeline) supportFor(suspicious int) int {
+	if p.cfg.MinSupport > 0 {
+		return p.cfg.MinSupport
+	}
+	s := int(p.cfg.RelativeSupport * float64(suspicious))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ExtractOffline runs the extraction stage alone — the post-mortem mode
+// of §II: given an interval's flows and the alarm meta-data an operator
+// wants to investigate, prefilter and mine without touching detector
+// state.
+func ExtractOffline(cfg Config, recs []flow.Record, meta detector.MetaData) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{TotalFlows: len(recs), Alarm: true}
+	suspicious := prefilter.Filter(cfg.Prefilter, meta, recs)
+	rep.SuspiciousFlows = len(suspicious)
+	if cfg.KeepSuspicious {
+		rep.Suspicious = suspicious
+	}
+	if len(suspicious) == 0 {
+		rep.CostReduction = cost.Reduction(rep.TotalFlows, 0)
+		return rep, nil
+	}
+	minsup := cfg.MinSupport
+	if minsup == 0 {
+		minsup = int(cfg.RelativeSupport * float64(len(suspicious)))
+		if minsup < 1 {
+			minsup = 1
+		}
+	}
+	rep.MinSupport = minsup
+	txs := itemset.FromFlows(suspicious)
+	if cfg.QuantizeSizes {
+		txs = itemset.QuantizeAll(txs, itemset.SizeKinds...)
+	}
+	res, err := cfg.Miner.Mine(txs, minsup)
+	if err != nil {
+		return nil, err
+	}
+	rep.Mining = res
+	rep.ItemSets = res.Maximal
+	rep.CostReduction = cost.Reduction(rep.TotalFlows, len(rep.ItemSets))
+	return rep, nil
+}

@@ -1,0 +1,47 @@
+// Package cost quantifies the decrease in manual classification cost of
+// §III-F: instead of classifying every flow of a flagged interval, the
+// operator classifies the extracted item-sets, and the reduction is
+//
+//	R = F / I
+//
+// where F is the number of flows in the flagged interval and I the number
+// of item-sets in the mining output. The paper assumes classification
+// cost linear in the number of items to classify and reports reductions
+// between 600 000x and 800 000x for 0.7–2.6 M-flow intervals.
+package cost
+
+import "math"
+
+// Reduction returns R = flows / itemSets. With an empty mining output the
+// operator inspects nothing; the reduction is reported as +Inf.
+func Reduction(flows, itemSets int) float64 {
+	if flows < 0 || itemSets < 0 {
+		panic("cost: negative counts")
+	}
+	if itemSets == 0 {
+		return math.Inf(1)
+	}
+	return float64(flows) / float64(itemSets)
+}
+
+// MeanReduction averages the per-interval reductions, skipping infinite
+// entries (intervals whose mining output was empty), mirroring how the
+// paper averages over its 31 anomalous intervals.
+func MeanReduction(flows, itemSets []int) float64 {
+	if len(flows) != len(itemSets) {
+		panic("cost: length mismatch")
+	}
+	sum, n := 0.0, 0
+	for i := range flows {
+		r := Reduction(flows[i], itemSets[i])
+		if math.IsInf(r, 1) {
+			continue
+		}
+		sum += r
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,60 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(1500000, 3); got != 500000 {
+		t.Errorf("Reduction = %v, want 500000", got)
+	}
+	if got := Reduction(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("empty output should be +Inf, got %v", got)
+	}
+	if got := Reduction(0, 5); got != 0 {
+		t.Errorf("zero flows: %v", got)
+	}
+}
+
+func TestReductionPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative input")
+		}
+	}()
+	Reduction(-1, 2)
+}
+
+func TestMeanReduction(t *testing.T) {
+	flows := []int{1000, 2000, 3000}
+	sets := []int{10, 20, 0} // last one: empty output, skipped
+	got := MeanReduction(flows, sets)
+	if got != 100 {
+		t.Errorf("MeanReduction = %v, want 100", got)
+	}
+}
+
+func TestMeanReductionAllEmpty(t *testing.T) {
+	if got := MeanReduction([]int{10}, []int{0}); !math.IsNaN(got) {
+		t.Errorf("all-empty mean should be NaN, got %v", got)
+	}
+}
+
+func TestMeanReductionPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	MeanReduction([]int{1, 2}, []int{1})
+}
+
+func TestPaperScaleReduction(t *testing.T) {
+	// §III-F: 0.7–2.6M flows per interval, a handful of item-sets →
+	// reductions of several hundred thousand.
+	r := Reduction(2600000, 4)
+	if r < 600000 || r > 800000 {
+		t.Errorf("2.6M flows / 4 item-sets = %v, expected in [600k, 800k]", r)
+	}
+}

@@ -1,0 +1,82 @@
+package detector
+
+import (
+	"anomalyx/internal/flow"
+)
+
+// BankConfig parameterizes a bank of per-feature detectors — the "d
+// histogram-based detectors" of §II (default: the five features of
+// §II-E).
+type BankConfig struct {
+	// Features lists the monitored features; defaults to the paper's
+	// five (srcIP, dstIP, srcPort, dstPort, packets).
+	Features []flow.FeatureKind
+	// Template provides the shared per-detector parameters; its Feature
+	// field is overwritten per detector.
+	Template Config
+}
+
+// Bank runs one detector per traffic feature and consolidates their
+// alarm meta-data by union (Fig. 3).
+type Bank struct {
+	detectors []*Detector
+}
+
+// BankResult is the outcome of one interval across all features.
+type BankResult struct {
+	Interval int
+	// Alarm is true when any feature detector alarmed.
+	Alarm bool
+	// PerFeature holds each detector's result, in Features order.
+	PerFeature []Result
+	// Meta is the union of the voted feature values across features —
+	// the prefilter input.
+	Meta MetaData
+}
+
+// NewBank builds one detector per feature.
+func NewBank(cfg BankConfig) (*Bank, error) {
+	feats := cfg.Features
+	if len(feats) == 0 {
+		feats = flow.DetectorFeatures[:]
+	}
+	b := &Bank{}
+	for _, f := range feats {
+		dcfg := cfg.Template
+		dcfg.Feature = f
+		d, err := New(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		b.detectors = append(b.detectors, d)
+	}
+	return b, nil
+}
+
+// Detectors exposes the underlying per-feature detectors (read-only use).
+func (b *Bank) Detectors() []*Detector { return b.detectors }
+
+// Observe feeds one flow into every feature detector.
+func (b *Bank) Observe(rec *flow.Record) {
+	for _, d := range b.detectors {
+		d.Observe(rec)
+	}
+}
+
+// EndInterval closes the interval on every detector and merges their
+// meta-data (union across detectors, §II-A).
+func (b *Bank) EndInterval() BankResult {
+	res := BankResult{Meta: NewMetaData()}
+	for _, d := range b.detectors {
+		r := d.EndInterval()
+		res.Interval = r.Interval
+		res.PerFeature = append(res.PerFeature, r)
+		if r.Alarm {
+			res.Alarm = true
+			for _, v := range r.Meta {
+				res.Meta.Add(r.Feature, v)
+			}
+		}
+	}
+	return res
+}

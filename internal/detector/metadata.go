@@ -1,0 +1,101 @@
+// Package detector implements the histogram-based anomaly detectors of
+// §II-C/D: per-feature KL detectors over cloned randomized histograms,
+// the MAD-based alarm threshold on the first difference of the KL time
+// series, and the l-of-n voting that turns anomalous bins into alarm
+// meta-data.
+package detector
+
+import (
+	"sort"
+
+	"anomalyx/internal/flow"
+)
+
+// MetaData is the alarm annotation the extraction stage consumes: for
+// each traffic feature, the set of feature values the detectors associate
+// with the anomaly (Table I / §II-A). Prefiltering keeps every flow that
+// matches *any* entry — the union semantics the paper argues for.
+type MetaData map[flow.FeatureKind]map[uint64]struct{}
+
+// NewMetaData returns an empty annotation.
+func NewMetaData() MetaData { return make(MetaData) }
+
+// Add inserts value v for feature kind k.
+func (m MetaData) Add(k flow.FeatureKind, v uint64) {
+	set := m[k]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		m[k] = set
+	}
+	set[v] = struct{}{}
+}
+
+// Merge adds every entry of other into m (the union of detector views,
+// Fig. 2/3).
+func (m MetaData) Merge(other MetaData) {
+	for k, vals := range other {
+		for v := range vals {
+			m.Add(k, v)
+		}
+	}
+}
+
+// Contains reports whether value v is annotated for feature kind k.
+func (m MetaData) Contains(k flow.FeatureKind, v uint64) bool {
+	_, ok := m[k][v]
+	return ok
+}
+
+// MatchesFlow reports whether any feature value of rec is annotated —
+// the union prefilter predicate.
+func (m MetaData) MatchesFlow(rec *flow.Record) bool {
+	for k, vals := range m {
+		if _, ok := vals[rec.Feature(k)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesFlowAll reports whether rec matches an annotated value in every
+// annotated feature — the intersection semantics the paper shows to be
+// inferior (§II-A); kept for the comparison baseline.
+func (m MetaData) MatchesFlowAll(rec *flow.Record) bool {
+	if len(m) == 0 {
+		return false
+	}
+	for k, vals := range m {
+		if _, ok := vals[rec.Feature(k)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Values returns the annotated values for feature kind k in ascending
+// order.
+func (m MetaData) Values(k flow.FeatureKind) []uint64 {
+	set := m[k]
+	out := make([]uint64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count returns the total number of (feature, value) annotations.
+func (m MetaData) Count() int {
+	n := 0
+	for _, set := range m {
+		n += len(set)
+	}
+	return n
+}
+
+// Clone returns a deep copy of m.
+func (m MetaData) Clone() MetaData {
+	out := NewMetaData()
+	out.Merge(m)
+	return out
+}

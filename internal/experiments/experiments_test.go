@@ -1,0 +1,426 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/tracegen"
+)
+
+// The quick trace pass takes a few seconds; share one across tests.
+var (
+	runOnce sync.Once
+	quickTR *TraceRun
+	runErr  error
+)
+
+func quickRun(t *testing.T) *TraceRun {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trace pass skipped in -short mode")
+	}
+	runOnce.Do(func() { quickTR, runErr = Run(Quick) })
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return quickTR
+}
+
+func TestTableII(t *testing.T) {
+	res, err := TableII(20071203)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mining.Transactions != tracegen.TableIITotal {
+		t.Errorf("transactions %d", res.Mining.Transactions)
+	}
+	// The paper verifies exactly three maximal item-sets with dstPort
+	// 7000 (the three above-support flooding hosts).
+	if res.PortSevenK != 3 {
+		t.Errorf("dstPort-7000 item-sets = %d, want 3", res.PortSevenK)
+	}
+	// Table II has 15 item-sets total; the synthetic mix lands close.
+	if n := len(res.Mining.Maximal); n < 8 || n > 20 {
+		t.Errorf("maximal item-sets = %d, want near the paper's 15", n)
+	}
+	// The pruning cascade: every level reports more frequent sets than
+	// maximal ones at levels below the deepest.
+	if len(res.Mining.Levels) < 3 {
+		t.Fatalf("levels: %v", res.Mining.Levels)
+	}
+	l1 := res.Mining.Levels[0]
+	if l1.Maximal != 0 {
+		t.Errorf("all frequent 1-item-sets should be subsumed, %d maximal", l1.Maximal)
+	}
+	if !strings.Contains(res.Report.String(), "dstPort=7000") {
+		t.Error("report missing the flood")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	out := TableIII(Full).String()
+	for _, want := range []string{"d", "Delta", "m", "n", "l", "s", "alpha", "15m0s", "1024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickRunDetection(t *testing.T) {
+	tr := quickRun(t)
+	anom := tr.AnomalousIntervals()
+	if len(anom) == 0 {
+		t.Fatal("no anomalous intervals")
+	}
+	alarmed, withMeta := 0, 0
+	for _, it := range anom {
+		if it.Alarm {
+			alarmed++
+		}
+		if it.EffectiveMeta != nil {
+			withMeta++
+		}
+	}
+	// The paper misses none of its 31 intervals; allow a small slack on
+	// the compressed trace.
+	if float64(alarmed) < 0.8*float64(len(anom)) {
+		t.Errorf("alarmed %d of %d anomalous intervals", alarmed, len(anom))
+	}
+	if withMeta < alarmed {
+		t.Errorf("meta-data (%d) fewer than alarms (%d)", withMeta, alarmed)
+	}
+	// False-alarm rate at the 3-sigma operating point should be small.
+	falseAlarms, negatives := 0, 0
+	for i := range tr.Intervals {
+		if tr.Intervals[i].Anomalous {
+			continue
+		}
+		negatives++
+		if tr.Intervals[i].Alarm {
+			falseAlarms++
+		}
+	}
+	if fpr := float64(falseAlarms) / float64(negatives); fpr > 0.15 {
+		t.Errorf("interval FPR %.3f too high", fpr)
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	tr := quickRun(t)
+	res, err := TableIV(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEvents != len(tr.GroundTruth) {
+		t.Errorf("events %d, want %d", res.TotalEvents, len(tr.GroundTruth))
+	}
+	classes := map[tracegen.Class]bool{}
+	totalDetected, totalExtracted, totalEvents := 0, 0, 0
+	for _, row := range res.Rows {
+		classes[row.Class] = true
+		totalDetected += row.Detected
+		totalExtracted += row.Extracted
+		totalEvents += row.Events
+		if row.AvgFlows <= 0 {
+			t.Errorf("class %v: avg flows %v", row.Class, row.AvgFlows)
+		}
+	}
+	if totalEvents != res.TotalEvents {
+		t.Errorf("row events sum %d != %d", totalEvents, res.TotalEvents)
+	}
+	if float64(totalDetected) < 0.8*float64(totalEvents) {
+		t.Errorf("detected %d of %d events", totalDetected, totalEvents)
+	}
+	if float64(totalExtracted) < 0.75*float64(totalEvents) {
+		t.Errorf("extracted %d of %d events", totalExtracted, totalEvents)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	tr := quickRun(t)
+	res, err := Fig4(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.KL) != len(res.Diff) || len(res.KL) != len(res.Threshold) {
+		t.Fatal("series lengths differ")
+	}
+	if len(res.KL) == 0 {
+		t.Fatal("empty series")
+	}
+	// KL distances are non-negative; differences mix signs.
+	sawNeg := false
+	for i := range res.KL {
+		if res.KL[i] < 0 {
+			t.Fatalf("negative KL at %d", i)
+		}
+		if res.Diff[i] < 0 {
+			sawNeg = true
+		}
+	}
+	if !sawNeg {
+		t.Error("first differences never negative — suspicious")
+	}
+	if res.AlarmsAboveThreshold == 0 {
+		t.Error("no threshold crossings in a window containing events")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	tr := quickRun(t)
+	res, err := Fig5(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.KLSeries) < 2 {
+		t.Fatalf("KL series too short: %v", res.KLSeries)
+	}
+	// Fig. 5 shape: the series trends downward and converges. Small
+	// upward wiggles are possible because aligning a bin with the
+	// reference renormalizes both distributions.
+	tol := 0.02 * res.KLSeries[0]
+	for i := 1; i < len(res.KLSeries); i++ {
+		if res.KLSeries[i] > res.KLSeries[i-1]+tol {
+			t.Errorf("KL increased at round %d: %v", i, res.KLSeries)
+		}
+	}
+	if last := res.KLSeries[len(res.KLSeries)-1]; last >= res.KLSeries[0] {
+		t.Errorf("series did not decrease overall: %v", res.KLSeries)
+	}
+	if !res.Converged {
+		t.Error("identification did not converge")
+	}
+	// "Already after the first round, the KL distance decreases
+	// significantly": at least 30% drop.
+	if res.KLSeries[1] > 0.7*res.KLSeries[0] {
+		t.Errorf("first-round drop too small: %v", res.KLSeries[:2])
+	}
+}
+
+func TestFig6(t *testing.T) {
+	tr := quickRun(t)
+	res, err := Fig6(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clones := tr.Pipeline.Detector.Clones
+	if len(res.Curves) != clones {
+		t.Fatalf("%d curves, want %d", len(res.Curves), clones)
+	}
+	for c, auc := range res.AUC {
+		// The detector must be far better than chance.
+		if auc < 0.75 {
+			t.Errorf("clone %d AUC %.3f too low", c, auc)
+		}
+	}
+	// Paper shape: high TPR reachable at moderate FPR.
+	if tpr := res.Curves[0].TPRAt(0.10); tpr < 0.7 {
+		t.Errorf("TPR at FPR 0.10 = %.2f", tpr)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	res := Fig7(0.97)
+	if len(res.N) != 25 {
+		t.Fatalf("N = %v", res.N)
+	}
+	lEqN := res.Beta["l=n"]
+	lEq1 := res.Beta["l=1"]
+	// beta(l=n) increases with n; beta(l=1) decreases with n.
+	for i := 1; i < len(lEqN); i++ {
+		if lEqN[i] < lEqN[i-1]-1e-12 {
+			t.Error("beta(l=n) not increasing")
+		}
+		if lEq1[i] > lEq1[i-1]+1e-12 {
+			t.Error("beta(l=1) not decreasing")
+		}
+	}
+	// Anchor from the paper's setting: beta(n=l=5) = 1-0.97^5 ≈ 0.141.
+	if got := lEqN[4]; math.Abs(got-(1-math.Pow(0.97, 5))) > 1e-9 {
+		t.Errorf("beta(5,5) = %v", got)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	b1 := Fig8(1, 1024)
+	b5 := Fig8(5, 1024)
+	g1 := b1.Gamma["l=n"]
+	g5 := b5.Gamma["l=n"]
+	for i := range g1 {
+		// More anomalous bins leak more normal values.
+		if g5[i] < g1[i] {
+			t.Errorf("gamma(b=5) < gamma(b=1) at n=%d", i+1)
+		}
+	}
+	// gamma(l=n) decreases steeply with n.
+	if !(g1[0] > g1[4] && g1[4] > g1[9]) {
+		t.Errorf("gamma(l=n) not decreasing: %v", g1[:10])
+	}
+	// Anchor: n=l=3, b=1 -> (1/1024)^3.
+	want := math.Pow(1.0/1024, 3)
+	if math.Abs(b1.Gamma["l=n"][2]-want) > want*1e-6 {
+		t.Errorf("gamma(3,3,1,1024) = %v, want %v", b1.Gamma["l=n"][2], want)
+	}
+}
+
+func TestSweepAndFig9Fig10(t *testing.T) {
+	tr := quickRun(t)
+	sw, err := RunSweep(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Missed+len(sw.Cells) != len(tr.AnomalousIntervals()) {
+		t.Error("sweep interval accounting wrong")
+	}
+	f9 := Fig9(sw)
+	// Paper shape: average FP item-sets decrease as support grows.
+	first, last := f9.AvgFP[0], f9.AvgFP[len(f9.AvgFP)-1]
+	if last > first {
+		t.Errorf("avg FP grew with support: %v", f9.AvgFP)
+	}
+	if first > 12 {
+		t.Errorf("avg FP at lowest support %v, paper scale is 2-8.5", first)
+	}
+	if f9.MissedEvents > len(sw.Cells)/5 {
+		t.Errorf("extraction missed %d of %d intervals", f9.MissedEvents, len(sw.Cells))
+	}
+	// Zero-FP intervals become more common at higher support.
+	if f9.ZeroFPPerSupport[len(f9.ZeroFPPerSupport)-1] < f9.ZeroFPPerSupport[0] {
+		t.Errorf("zero-FP counts: %v", f9.ZeroFPPerSupport)
+	}
+
+	f10 := Fig10(sw)
+	// Paper shape: cost reduction increases with support and saturates.
+	if f10.AvgR[len(f10.AvgR)-1] < f10.AvgR[0] {
+		t.Errorf("cost reduction decreased: %v", f10.AvgR)
+	}
+	for _, r := range f10.AvgR {
+		if r <= 1 {
+			t.Errorf("reduction %v not > 1", r)
+		}
+	}
+}
+
+func TestSasserExperiment(t *testing.T) {
+	res, err := Sasser(20071203, 10000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntersectionFlows != 0 {
+		t.Errorf("intersection selected %d flows", res.IntersectionFlows)
+	}
+	if res.UnionFlows == 0 {
+		t.Fatal("union selected nothing")
+	}
+	if res.StagesExtracted != 3 {
+		t.Errorf("stages extracted = %d, want 3", res.StagesExtracted)
+	}
+}
+
+func TestMinerComparison(t *testing.T) {
+	res, err := MinerComparison(1, []int{20000, 60000}, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timings) != 6 {
+		t.Fatalf("timings: %d", len(res.Timings))
+	}
+	// All miners found the same number of frequent sets per size.
+	bySize := map[int]int{}
+	for _, tm := range res.Timings {
+		if prev, ok := bySize[tm.Transactions]; ok && prev != tm.FrequentSets {
+			t.Errorf("miners disagree at %d transactions", tm.Transactions)
+		}
+		bySize[tm.Transactions] = tm.FrequentSets
+	}
+}
+
+func TestVotingAblation(t *testing.T) {
+	tr := quickRun(t)
+	res, err := VotingAblation(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.L) != tr.Pipeline.Detector.Clones {
+		t.Fatalf("L = %v", res.L)
+	}
+	// §III-C: meta-data shrinks (or stays) as l grows.
+	for i := 1; i < len(res.MetaCount); i++ {
+		if res.MetaCount[i] > res.MetaCount[i-1] {
+			t.Errorf("meta grew with l: %v", res.MetaCount)
+		}
+	}
+}
+
+func TestCarryForwardMeta(t *testing.T) {
+	tr := quickRun(t)
+	// Find a multi-interval event; its later intervals should have
+	// effective meta-data even without their own alarm.
+	for _, ev := range tr.GroundTruth {
+		if ev.End == ev.Start {
+			continue
+		}
+		for idx := ev.Start + 1; idx <= ev.End && idx < len(tr.Intervals); idx++ {
+			it := &tr.Intervals[idx]
+			if it.Meta == nil && it.EffectiveMeta == nil {
+				// Only a failure if some earlier interval of the event
+				// alarmed.
+				alarmed := false
+				for back := ev.Start; back < idx; back++ {
+					if tr.Intervals[back].Meta != nil {
+						alarmed = true
+					}
+				}
+				if alarmed {
+					t.Errorf("interval %d of event %q lacks carried meta-data", idx, ev.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFeatureIndex(t *testing.T) {
+	tr := quickRun(t)
+	if tr.featureIndex(flow.SrcIP) != 0 {
+		t.Error("srcIP should be feature 0 in the default bank")
+	}
+	if tr.featureIndex(flow.Bytes) != -1 {
+		t.Error("bytes is not monitored by default")
+	}
+}
+
+func TestSketchVsClones(t *testing.T) {
+	tr := quickRun(t)
+	res, err := SketchVsClones(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both random-projection methods should identify the anomalous
+	// dstPort values on a clear event.
+	if res.CloneRecall < 0.5 {
+		t.Errorf("clone recall %.2f", res.CloneRecall)
+	}
+	if res.SketchRecall < 0.5 {
+		t.Errorf("sketch recall %.2f", res.SketchRecall)
+	}
+	if res.ClonePrecision == 0 {
+		t.Error("clone precision zero")
+	}
+}
+
+func TestHHHBaseline(t *testing.T) {
+	tr := quickRun(t)
+	res, err := HHHBaseline(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VictimHit {
+		t.Errorf("HHH did not surface the victim: %v", res.Hitters)
+	}
+	if len(res.Hitters) == 0 {
+		t.Fatal("no heavy hitters at all")
+	}
+}

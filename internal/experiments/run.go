@@ -1,0 +1,212 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III) over the synthetic SWITCH-like trace. Each experiment
+// has one entry point returning structured data plus a rendered report;
+// cmd/experiments prints them and EXPERIMENTS.md records the measured
+// outcomes next to the paper's. The per-experiment index lives in
+// DESIGN.md §4.
+package experiments
+
+import (
+	"anomalyx/internal/core"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/tracegen"
+)
+
+// Scale selects the trace size experiments run on.
+type Scale int
+
+const (
+	// Full is the two-week evaluation trace (Table IV schedule). One
+	// full pipeline pass takes on the order of two minutes.
+	Full Scale = iota
+	// Quick is a two-day trace with a proportionally compressed
+	// schedule, for tests and benchmarks.
+	Quick
+)
+
+// TraceConfig returns the generator configuration for a scale.
+func TraceConfig(s Scale) tracegen.Config {
+	if s == Quick {
+		return tracegen.SmallConfig()
+	}
+	return tracegen.DefaultConfig()
+}
+
+// PipelineConfig returns the paper-default pipeline parameters (Table
+// III): five features, k=1024 bins, n=3 clones, l=3 votes, alpha=3,
+// minimum support resolved per experiment.
+func PipelineConfig(s Scale) core.Config {
+	cfg := core.Config{
+		Detector: detector.Config{
+			Bins:           1024,
+			Clones:         3,
+			Votes:          3,
+			Alpha:          3,
+			TrainIntervals: 12,
+			HistoryWindow:  192,
+			MaxRemoveBins:  32,
+		},
+		RelativeSupport: 0.05,
+	}
+	if s == Quick {
+		cfg.Detector.Bins = 512
+		cfg.Detector.TrainIntervals = 8
+	}
+	return cfg
+}
+
+// IntervalTrace is the per-interval record a full pipeline pass leaves
+// behind — everything the figure experiments need without a second pass.
+type IntervalTrace struct {
+	Index      int
+	TotalFlows int
+	Anomalous  bool // ground truth
+	Alarm      bool // detector outcome
+
+	// Diff[f][c] is the first difference of the KL series for feature f
+	// (run order) and clone c; KL[f][c] the raw distance; Threshold[f]
+	// the per-feature alarm threshold (0 while training).
+	Diff      [][]float64
+	KL        [][]float64
+	Threshold []float64
+
+	// Meta is the alarm meta-data (nil unless Alarm). EffectiveMeta is
+	// Meta, or — for continuing anomalies that only spiked at their
+	// start — the carried-forward meta-data of the event's first alarm
+	// (§II-B: the backscatter anomaly "was flagged by the detector in an
+	// earlier interval where it had started").
+	Meta          detector.MetaData
+	EffectiveMeta detector.MetaData
+}
+
+// TraceRun is the artifact of one pipeline pass over a trace.
+type TraceRun struct {
+	Scale       Scale
+	Gen         *tracegen.Generator
+	Pipeline    core.Config
+	Features    []flow.FeatureKind
+	Intervals   []IntervalTrace
+	GroundTruth []tracegen.GroundTruthEvent
+}
+
+// Run executes one full pipeline pass over the trace at the given scale,
+// recording per-interval detection state.
+func Run(s Scale) (*TraceRun, error) {
+	return RunWith(TraceConfig(s), PipelineConfig(s), s)
+}
+
+// RunWith is Run with explicit configurations.
+func RunWith(tc tracegen.Config, pc core.Config, s Scale) (*TraceRun, error) {
+	gen := tracegen.New(tc)
+	p, err := core.New(pc)
+	if err != nil {
+		return nil, err
+	}
+	features := pc.Features
+	if len(features) == 0 {
+		features = flow.DetectorFeatures[:]
+	}
+
+	tr := &TraceRun{
+		Scale:       s,
+		Gen:         gen,
+		Pipeline:    pc,
+		Features:    features,
+		GroundTruth: gen.GroundTruth(),
+	}
+
+	for idx := 0; idx < tc.Intervals; idx++ {
+		rep, err := p.ProcessInterval(gen.Interval(idx))
+		if err != nil {
+			return nil, err
+		}
+		it := IntervalTrace{
+			Index:      idx,
+			TotalFlows: rep.TotalFlows,
+			Anomalous:  gen.IsAnomalous(idx),
+			Alarm:      rep.Alarm,
+		}
+		it.Diff = make([][]float64, len(features))
+		it.KL = make([][]float64, len(features))
+		it.Threshold = make([]float64, len(features))
+		for f, fres := range rep.Detection.PerFeature {
+			it.Threshold[f] = fres.Threshold
+			it.Diff[f] = make([]float64, len(fres.Clones))
+			it.KL[f] = make([]float64, len(fres.Clones))
+			for c, cres := range fres.Clones {
+				it.Diff[f][c] = cres.Diff
+				it.KL[f][c] = cres.KL
+			}
+		}
+		if rep.Alarm && rep.Detection.Meta.Count() > 0 {
+			it.Meta = rep.Detection.Meta
+		}
+		tr.Intervals = append(tr.Intervals, it)
+	}
+
+	tr.carryForwardMeta()
+	return tr, nil
+}
+
+// carryForwardMeta fills EffectiveMeta: an anomalous interval that did
+// not alarm inherits the meta-data of the most recent alarming interval
+// covered by the same event.
+func (tr *TraceRun) carryForwardMeta() {
+	for i := range tr.Intervals {
+		it := &tr.Intervals[i]
+		if it.Meta != nil {
+			it.EffectiveMeta = it.Meta
+			continue
+		}
+		if !it.Anomalous {
+			continue
+		}
+		for _, ev := range tr.GroundTruth {
+			if !ev.Active(it.Index) || ev.Start == it.Index {
+				continue
+			}
+			for back := it.Index - 1; back >= ev.Start; back-- {
+				if m := tr.Intervals[back].Meta; m != nil {
+					if it.EffectiveMeta == nil {
+						it.EffectiveMeta = detector.NewMetaData()
+					}
+					it.EffectiveMeta.Merge(m)
+					break
+				}
+			}
+		}
+	}
+}
+
+// AnomalousIntervals returns the ground-truth anomalous interval traces.
+func (tr *TraceRun) AnomalousIntervals() []*IntervalTrace {
+	var out []*IntervalTrace
+	for i := range tr.Intervals {
+		if tr.Intervals[i].Anomalous {
+			out = append(out, &tr.Intervals[i])
+		}
+	}
+	return out
+}
+
+// EventsAt returns the ground-truth events active at interval idx.
+func (tr *TraceRun) EventsAt(idx int) []tracegen.GroundTruthEvent {
+	var out []tracegen.GroundTruthEvent
+	for _, ev := range tr.GroundTruth {
+		if ev.Active(idx) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// featureIndex returns the run-order index of feature k, or -1.
+func (tr *TraceRun) featureIndex(k flow.FeatureKind) int {
+	for i, f := range tr.Features {
+		if f == k {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,162 @@
+package flow
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestFeatureRoundTrip(t *testing.T) {
+	r := Record{
+		SrcAddr: 0x82380101, DstAddr: 0x08080808,
+		SrcPort: 54321, DstPort: 80,
+		Protocol: ProtoTCP, Packets: 12, Bytes: 3456,
+	}
+	want := map[FeatureKind]uint64{
+		SrcIP: 0x82380101, DstIP: 0x08080808,
+		SrcPort: 54321, DstPort: 80,
+		Proto: 6, Packets: 12, Bytes: 3456,
+	}
+	for k, v := range want {
+		if got := r.Feature(k); got != v {
+			t.Errorf("Feature(%v) = %d, want %d", k, got, v)
+		}
+	}
+}
+
+func TestSetFeatureInverse(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, pkts uint32, bytes uint64) bool {
+		var r Record
+		r.SetFeature(SrcIP, uint64(src))
+		r.SetFeature(DstIP, uint64(dst))
+		r.SetFeature(SrcPort, uint64(sp))
+		r.SetFeature(DstPort, uint64(dp))
+		r.SetFeature(Proto, uint64(proto))
+		r.SetFeature(Packets, uint64(pkts))
+		r.SetFeature(Bytes, bytes)
+		for _, k := range AllFeatures {
+			var want uint64
+			switch k {
+			case SrcIP:
+				want = uint64(src)
+			case DstIP:
+				want = uint64(dst)
+			case SrcPort:
+				want = uint64(sp)
+			case DstPort:
+				want = uint64(dp)
+			case Proto:
+				want = uint64(proto)
+			case Packets:
+				want = uint64(pkts)
+			case Bytes:
+				want = bytes
+			}
+			if r.Feature(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureKindString(t *testing.T) {
+	names := map[FeatureKind]string{
+		SrcIP: "srcIP", DstIP: "dstIP", SrcPort: "srcPort",
+		DstPort: "dstPort", Proto: "proto", Packets: "packets", Bytes: "bytes",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", k, k.String(), want)
+		}
+		if !k.Valid() {
+			t.Errorf("Valid(%v) = false", k)
+		}
+	}
+	if FeatureKind(99).Valid() {
+		t.Error("FeatureKind(99).Valid() = true")
+	}
+	if FeatureKind(99).String() != "feature(99)" {
+		t.Errorf("unexpected name %q", FeatureKind(99).String())
+	}
+}
+
+func TestFeaturePanicsOnInvalidKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feature(invalid) did not panic")
+		}
+	}()
+	var r Record
+	r.Feature(FeatureKind(42))
+}
+
+func TestAddrConversions(t *testing.T) {
+	cases := []struct {
+		s string
+		v uint32
+	}{
+		{"0.0.0.0", 0},
+		{"255.255.255.255", 0xffffffff},
+		{"130.59.1.2", 0x823b0102},
+		{"10.0.0.1", 0x0a000001},
+	}
+	for _, c := range cases {
+		if got := MustParseU32(c.s); got != c.v {
+			t.Errorf("MustParseU32(%q) = %#x, want %#x", c.s, got, c.v)
+		}
+		if got := U32ToAddr(c.v).String(); got != c.s {
+			t.Errorf("U32ToAddr(%#x) = %q, want %q", c.v, got, c.s)
+		}
+	}
+}
+
+func TestAddrRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool { return AddrToU32(U32ToAddr(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrToU32PanicsOnIPv6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddrToU32(v6) did not panic")
+		}
+	}()
+	AddrToU32(netip.MustParseAddr("::1"))
+}
+
+func TestDuration(t *testing.T) {
+	r := Record{Start: 100, End: 350}
+	if r.Duration() != 250 {
+		t.Errorf("Duration = %d, want 250", r.Duration())
+	}
+	r = Record{Start: 100, End: 50}
+	if r.Duration() != 0 {
+		t.Errorf("inverted Duration = %d, want 0", r.Duration())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if got := FormatValue(DstIP, uint64(MustParseU32("8.8.4.4"))); got != "8.8.4.4" {
+		t.Errorf("FormatValue(DstIP) = %q", got)
+	}
+	if got := FormatValue(DstPort, 443); got != "443" {
+		t.Errorf("FormatValue(DstPort) = %q", got)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{
+		SrcAddr: MustParseU32("1.2.3.4"), DstAddr: MustParseU32("5.6.7.8"),
+		SrcPort: 1000, DstPort: 80, Protocol: 6, Packets: 3, Bytes: 120,
+	}
+	want := "1.2.3.4:1000 -> 5.6.7.8:80 proto=6 pkts=3 bytes=120"
+	if r.String() != want {
+		t.Errorf("String = %q, want %q", r.String(), want)
+	}
+}

@@ -1,0 +1,170 @@
+// Package flowcache implements the flow-metering process that produces
+// NetFlow records from packets — the upstream half of the paper's data
+// path. The SWITCH routers meter packets into unidirectional flow
+// records keyed by the 5-tuple and export a flow when it goes idle, when
+// it exceeds the active timeout, or when the cache is full (the standard
+// NetFlow expiry semantics). The synthetic trace generator produces flow
+// records directly; this package exists so that the pipeline can also be
+// fed from packet-level input, and so that metering effects (timeout
+// splitting of long flows) can be studied.
+package flowcache
+
+import (
+	"container/list"
+
+	"anomalyx/internal/flow"
+)
+
+// Packet is the per-packet observation the meter consumes.
+type Packet struct {
+	SrcAddr  uint32
+	DstAddr  uint32
+	SrcPort  uint16
+	DstPort  uint16
+	Protocol uint8
+	TCPFlags uint8
+	Bytes    uint32
+	// TsMs is the packet timestamp in Unix milliseconds. Packets must be
+	// fed in non-decreasing timestamp order.
+	TsMs int64
+}
+
+// Config carries the metering parameters (Cisco NetFlow defaults:
+// 30 min active, 15 s inactive).
+type Config struct {
+	// ActiveTimeoutMs exports a flow still receiving packets after this
+	// duration, restarting the record (default 30 min).
+	ActiveTimeoutMs int64
+	// IdleTimeoutMs exports a flow that has not seen a packet for this
+	// duration (default 15 s).
+	IdleTimeoutMs int64
+	// MaxEntries bounds the cache; the least recently updated flow is
+	// force-exported when full (default 65536).
+	MaxEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ActiveTimeoutMs == 0 {
+		c.ActiveTimeoutMs = 30 * 60 * 1000
+	}
+	if c.IdleTimeoutMs == 0 {
+		c.IdleTimeoutMs = 15 * 1000
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 65536
+	}
+	return c
+}
+
+// key is the unidirectional 5-tuple.
+type key struct {
+	src, dst     uint32
+	sport, dport uint16
+	proto        uint8
+}
+
+type entry struct {
+	key  key
+	rec  flow.Record
+	elem *list.Element // position in the LRU list (front = oldest)
+}
+
+// Cache meters packets into flow records.
+type Cache struct {
+	cfg     Config
+	entries map[key]*entry
+	lru     *list.List // of *entry, least-recently-updated first
+}
+
+// New builds a flow cache.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:     cfg.withDefaults(),
+		entries: make(map[key]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Len returns the number of active (unexported) flows.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Observe meters one packet and returns any flow records expired by it
+// (idle timeouts are evaluated lazily against the packet's timestamp).
+func (c *Cache) Observe(p Packet) []flow.Record {
+	out := c.expireIdle(p.TsMs)
+
+	k := key{p.SrcAddr, p.DstAddr, p.SrcPort, p.DstPort, p.Protocol}
+	e, ok := c.entries[k]
+	if ok && p.TsMs-e.rec.Start >= c.cfg.ActiveTimeoutMs {
+		// Active timeout: export and restart the record.
+		out = append(out, e.rec)
+		c.remove(e)
+		ok = false
+	}
+	if !ok {
+		if len(c.entries) >= c.cfg.MaxEntries {
+			// Cache full: force-export the least recently updated flow.
+			oldest := c.lru.Front().Value.(*entry)
+			out = append(out, oldest.rec)
+			c.remove(oldest)
+		}
+		e = &entry{key: k, rec: flow.Record{
+			SrcAddr: p.SrcAddr, DstAddr: p.DstAddr,
+			SrcPort: p.SrcPort, DstPort: p.DstPort,
+			Protocol: p.Protocol,
+			Start:    p.TsMs, End: p.TsMs,
+		}}
+		e.elem = c.lru.PushBack(e)
+		c.entries[k] = e
+	}
+	e.rec.Packets++
+	e.rec.Bytes += uint64(p.Bytes)
+	e.rec.TCPFlags |= p.TCPFlags
+	e.rec.End = p.TsMs
+	c.lru.MoveToBack(e.elem)
+
+	// TCP FIN/RST terminate the flow immediately (standard expiry).
+	if p.Protocol == flow.ProtoTCP && p.TCPFlags&(flow.FlagFIN|flow.FlagRST) != 0 {
+		out = append(out, e.rec)
+		c.remove(e)
+	}
+	return out
+}
+
+// expireIdle exports every flow idle at time nowMs.
+func (c *Cache) expireIdle(nowMs int64) []flow.Record {
+	var out []flow.Record
+	for {
+		front := c.lru.Front()
+		if front == nil {
+			break
+		}
+		e := front.Value.(*entry)
+		if nowMs-e.rec.End < c.cfg.IdleTimeoutMs {
+			break // LRU order: everything behind is fresher
+		}
+		out = append(out, e.rec)
+		c.remove(e)
+	}
+	return out
+}
+
+// Flush exports every remaining flow (end of input).
+func (c *Cache) Flush() []flow.Record {
+	out := make([]flow.Record, 0, len(c.entries))
+	for {
+		front := c.lru.Front()
+		if front == nil {
+			break
+		}
+		e := front.Value.(*entry)
+		out = append(out, e.rec)
+		c.remove(e)
+	}
+	return out
+}
+
+func (c *Cache) remove(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+}

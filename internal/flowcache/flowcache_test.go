@@ -1,0 +1,154 @@
+package flowcache
+
+import (
+	"testing"
+
+	"anomalyx/internal/flow"
+)
+
+func pkt(ts int64, sport uint16, flags uint8) Packet {
+	return Packet{
+		SrcAddr: 1, DstAddr: 2, SrcPort: sport, DstPort: 80,
+		Protocol: flow.ProtoTCP, TCPFlags: flags, Bytes: 100, TsMs: ts,
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	c := New(Config{})
+	for i := int64(0); i < 5; i++ {
+		if got := c.Observe(pkt(1000+i*10, 5555, flow.FlagACK)); len(got) != 0 {
+			t.Fatalf("unexpected export: %v", got)
+		}
+	}
+	recs := c.Flush()
+	if len(recs) != 1 {
+		t.Fatalf("flushed %d flows, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Packets != 5 || r.Bytes != 500 {
+		t.Errorf("packets=%d bytes=%d", r.Packets, r.Bytes)
+	}
+	if r.Start != 1000 || r.End != 1040 {
+		t.Errorf("start=%d end=%d", r.Start, r.End)
+	}
+}
+
+func TestDistinctTuplesDistinctFlows(t *testing.T) {
+	c := New(Config{})
+	c.Observe(pkt(0, 1111, 0))
+	c.Observe(pkt(0, 2222, 0))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if recs := c.Flush(); len(recs) != 2 {
+		t.Fatalf("flushed %d", len(recs))
+	}
+}
+
+func TestIdleTimeout(t *testing.T) {
+	c := New(Config{IdleTimeoutMs: 1000})
+	c.Observe(pkt(0, 1111, 0))
+	// A packet for another flow 1500ms later expires the first.
+	out := c.Observe(pkt(1500, 2222, 0))
+	if len(out) != 1 || out[0].SrcPort != 1111 {
+		t.Fatalf("idle expiry: %v", out)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestActiveTimeoutSplitsLongFlow(t *testing.T) {
+	c := New(Config{ActiveTimeoutMs: 1000, IdleTimeoutMs: 10000})
+	var exported []flow.Record
+	for ts := int64(0); ts <= 2500; ts += 100 {
+		exported = append(exported, c.Observe(pkt(ts, 1111, flow.FlagACK))...)
+	}
+	exported = append(exported, c.Flush()...)
+	// 0..2500 with active timeout 1000 → split into 3 records.
+	if len(exported) != 3 {
+		t.Fatalf("long flow split into %d records, want 3", len(exported))
+	}
+	var pkts uint32
+	for _, r := range exported {
+		pkts += r.Packets
+	}
+	if pkts != 26 {
+		t.Errorf("total packets %d, want 26 (no loss across splits)", pkts)
+	}
+}
+
+func TestFINExportsImmediately(t *testing.T) {
+	c := New(Config{})
+	c.Observe(pkt(0, 1111, flow.FlagSYN))
+	c.Observe(pkt(10, 1111, flow.FlagACK))
+	out := c.Observe(pkt(20, 1111, flow.FlagFIN|flow.FlagACK))
+	if len(out) != 1 {
+		t.Fatalf("FIN export: %v", out)
+	}
+	r := out[0]
+	if r.Packets != 3 {
+		t.Errorf("packets = %d", r.Packets)
+	}
+	if r.TCPFlags&flow.FlagSYN == 0 || r.TCPFlags&flow.FlagFIN == 0 {
+		t.Errorf("flags not ORed: %08b", r.TCPFlags)
+	}
+	if c.Len() != 0 {
+		t.Error("flow still cached after FIN")
+	}
+}
+
+func TestRSTExportsImmediately(t *testing.T) {
+	c := New(Config{})
+	out := c.Observe(pkt(0, 1111, flow.FlagRST))
+	if len(out) != 1 {
+		t.Fatalf("RST export: %v", out)
+	}
+}
+
+func TestUDPFlagsDoNotTerminate(t *testing.T) {
+	c := New(Config{})
+	p := Packet{SrcAddr: 1, DstAddr: 2, SrcPort: 53, DstPort: 53,
+		Protocol: flow.ProtoUDP, TCPFlags: flow.FlagFIN, Bytes: 60, TsMs: 0}
+	if out := c.Observe(p); len(out) != 0 {
+		t.Error("UDP flow terminated by flag bits")
+	}
+}
+
+func TestMaxEntriesEvictsOldest(t *testing.T) {
+	c := New(Config{MaxEntries: 2, IdleTimeoutMs: 1 << 40})
+	c.Observe(pkt(0, 1111, 0))
+	c.Observe(pkt(1, 2222, 0))
+	out := c.Observe(pkt(2, 3333, 0))
+	if len(out) != 1 || out[0].SrcPort != 1111 {
+		t.Fatalf("eviction: %v", out)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUOrderFollowsUpdates(t *testing.T) {
+	c := New(Config{MaxEntries: 2, IdleTimeoutMs: 1 << 40})
+	c.Observe(pkt(0, 1111, 0))
+	c.Observe(pkt(1, 2222, 0))
+	c.Observe(pkt(2, 1111, 0)) // refresh 1111; 2222 becomes oldest
+	out := c.Observe(pkt(3, 3333, 0))
+	if len(out) != 1 || out[0].SrcPort != 2222 {
+		t.Fatalf("LRU eviction picked %v", out)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.ActiveTimeoutMs != 30*60*1000 || cfg.IdleTimeoutMs != 15000 || cfg.MaxEntries != 65536 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestFlushEmpty(t *testing.T) {
+	c := New(Config{})
+	if out := c.Flush(); len(out) != 0 {
+		t.Errorf("empty flush: %v", out)
+	}
+}

@@ -1,0 +1,67 @@
+// Package hash provides the seeded 64-bit hash family used by histogram
+// clones (§II-D of the paper).
+//
+// Each histogram clone needs an independent hash function that randomly
+// places feature values into one of k bins; independence across clones is
+// what makes voting drive down the probability that a normal feature value
+// collides with an anomalous bin in l of n clones. The family here is a
+// Murmur3-style finalizer strengthened with a splitmix64 seed schedule:
+// cheap (a handful of multiplies and xors per value), stateless, and with
+// good avalanche behaviour so that adjacent feature values (sequential IP
+// addresses, neighbouring ports) land in unrelated bins.
+package hash
+
+// Func is a seeded hash function over 64-bit feature values.
+type Func struct {
+	k0, k1 uint64
+}
+
+// New derives an independent hash function from seed. Distinct seeds give
+// functions that behave as independently drawn members of the family.
+func New(seed uint64) Func {
+	// splitmix64 on the seed twice to derive two whitening keys; this
+	// decorrelates functions created from small sequential seeds
+	// (0, 1, 2, ...), the common way clones are constructed.
+	s := seed
+	return Func{k0: splitmix64(&s), k1: splitmix64(&s)}
+}
+
+// Sum64 hashes value v to a 64-bit digest.
+func (f Func) Sum64(v uint64) uint64 {
+	x := v ^ f.k0
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	x ^= f.k1
+	// One extra mix round so that k1 influences every output bit.
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// Bin maps value v to a bin index in [0, k). k must be positive. When k is
+// a power of two (the paper uses k = 2^m) the mapping reduces to a mask of
+// the high-quality low bits.
+func (f Func) Bin(v uint64, k int) int {
+	if k <= 0 {
+		panic("hash: Bin requires k > 0")
+	}
+	h := f.Sum64(v)
+	if k&(k-1) == 0 {
+		return int(h & uint64(k-1))
+	}
+	return int(h % uint64(k))
+}
+
+// splitmix64 advances *s and returns the next output of the splitmix64
+// sequence; it is the standard seed-expansion generator.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,123 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	f1 := New(7)
+	f2 := New(7)
+	for v := uint64(0); v < 1000; v++ {
+		if f1.Sum64(v) != f2.Sum64(v) {
+			t.Fatalf("same seed disagrees at %d", v)
+		}
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	// Different seeds must produce different mappings: over 4096 values
+	// into 1024 bins, two independent functions should agree on only
+	// ~1/1024 of values.
+	f1, f2 := New(1), New(2)
+	const n, k = 4096, 1024
+	agree := 0
+	for v := uint64(0); v < n; v++ {
+		if f1.Bin(v, k) == f2.Bin(v, k) {
+			agree++
+		}
+	}
+	// Expected ~4 agreements; flag anything over 32 as correlated.
+	if agree > 32 {
+		t.Errorf("seeds 1 and 2 agree on %d/%d bins, look correlated", agree, n)
+	}
+}
+
+func TestSequentialSeedsDiffer(t *testing.T) {
+	// Clones are seeded 0,1,2,...; ensure those are pairwise distinct.
+	const clones = 25
+	fs := make([]Func, clones)
+	for i := range fs {
+		fs[i] = New(uint64(i))
+	}
+	for i := 0; i < clones; i++ {
+		for j := i + 1; j < clones; j++ {
+			if fs[i].Sum64(12345) == fs[j].Sum64(12345) && fs[i].Sum64(999) == fs[j].Sum64(999) {
+				t.Errorf("seeds %d and %d collide on probe values", i, j)
+			}
+		}
+	}
+}
+
+func TestBinRange(t *testing.T) {
+	f := New(3)
+	check := func(v uint64, kRaw uint16) bool {
+		k := int(kRaw)%4096 + 1
+		b := f.Bin(v, k)
+		return b >= 0 && b < k
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinPanicsOnNonPositiveK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bin(k=0) did not panic")
+		}
+	}()
+	New(1).Bin(5, 0)
+}
+
+func TestBinUniformity(t *testing.T) {
+	// Sequential feature values (ports 0..65535) must spread evenly over
+	// 1024 bins: chi-squared against uniform with generous tolerance.
+	f := New(42)
+	const k = 1024
+	counts := make([]int, k)
+	const n = 65536
+	for v := 0; v < n; v++ {
+		counts[f.Bin(uint64(v), k)]++
+	}
+	expected := float64(n) / k
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// df = 1023; mean 1023, sd ~45. 5 sigma ≈ 1250.
+	if chi2 > 1250 {
+		t.Errorf("chi2 = %.1f, distribution too lumpy", chi2)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 of 64 output bits on
+	// average.
+	f := New(9)
+	total := 0.0
+	samples := 0
+	for v := uint64(1); v < 1<<16; v += 997 {
+		h0 := f.Sum64(v)
+		for bit := 0; bit < 64; bit += 7 {
+			h1 := f.Sum64(v ^ (1 << bit))
+			total += float64(popcount(h0 ^ h1))
+			samples++
+		}
+	}
+	avg := total / float64(samples)
+	if math.Abs(avg-32) > 3 {
+		t.Errorf("avalanche average %.2f bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

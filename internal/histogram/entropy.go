@@ -1,0 +1,85 @@
+package histogram
+
+import "math"
+
+// Entropy returns the Shannon entropy (bits) of the distribution induced
+// by the per-bin counts. Empty histograms have zero entropy. Entropy is
+// the alternative detection metric of Table I's entropy-based detectors
+// (Wagner & Plattner [33], Lakhina et al. [18]): worm outbreaks and
+// scans disperse feature distributions (entropy rises), floods and DDoS
+// concentrate them (entropy falls).
+func Entropy(counts []uint64) float64 {
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EntropyDistance is the entropy-based analogue of the KL distance used
+// by the detector: the absolute entropy difference between the current
+// and reference distributions. Like the KL distance it is zero for
+// coinciding distributions and grows with disruption, in either
+// direction (dispersion or concentration).
+func EntropyDistance(p, q []uint64) float64 {
+	return math.Abs(Entropy(p) - Entropy(q))
+}
+
+// Metric is a distance between two per-bin count vectors.
+type Metric func(p, q []uint64) float64
+
+// IdentifyAnomalousBinsMetric generalizes IdentifyAnomalousBins to any
+// distance metric: bins with the largest absolute count difference are
+// aligned with the reference until metric(cleaned, ref) - prevDist drops
+// to the threshold.
+func IdentifyAnomalousBinsMetric(cur, ref []uint64, prevDist, threshold float64, maxRounds int, metric Metric) Identification {
+	if len(cur) != len(ref) {
+		panic("histogram: IdentifyAnomalousBinsMetric over different bin counts")
+	}
+	k := len(cur)
+	if maxRounds <= 0 || maxRounds > k {
+		maxRounds = k
+	}
+	work := make([]uint64, k)
+	copy(work, cur)
+
+	id := Identification{KLSeries: []float64{metric(work, ref)}}
+	removed := make([]bool, k)
+
+	for len(id.Bins) < maxRounds {
+		if id.KLSeries[len(id.KLSeries)-1]-prevDist <= threshold {
+			id.Converged = true
+			return id
+		}
+		best, bestDiff := -1, uint64(0)
+		for i := 0; i < k; i++ {
+			if removed[i] {
+				continue
+			}
+			d := absDiff(work[i], ref[i])
+			if best == -1 || d > bestDiff {
+				best, bestDiff = i, d
+			}
+		}
+		if best == -1 || bestDiff == 0 {
+			return id
+		}
+		removed[best] = true
+		work[best] = ref[best]
+		id.Bins = append(id.Bins, best)
+		id.KLSeries = append(id.KLSeries, metric(work, ref))
+	}
+	id.Converged = id.KLSeries[len(id.KLSeries)-1]-prevDist <= threshold
+	return id
+}

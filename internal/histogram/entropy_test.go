@@ -1,0 +1,96 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	// Uniform over 4 bins: H = 2 bits.
+	if got := Entropy([]uint64{5, 5, 5, 5}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("uniform H = %v, want 2", got)
+	}
+	// All mass in one bin: H = 0.
+	if got := Entropy([]uint64{0, 100, 0}); got != 0 {
+		t.Errorf("degenerate H = %v, want 0", got)
+	}
+	// Empty histogram: 0.
+	if got := Entropy([]uint64{0, 0}); got != 0 {
+		t.Errorf("empty H = %v", got)
+	}
+	// Fair coin: 1 bit.
+	if got := Entropy([]uint64{7, 7}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("coin H = %v, want 1", got)
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// 0 <= H <= log2(k).
+	counts := []uint64{1, 9, 22, 5, 0, 13, 2, 8}
+	h := Entropy(counts)
+	if h < 0 || h > 3 {
+		t.Errorf("H = %v outside [0, 3]", h)
+	}
+}
+
+func TestEntropyDistance(t *testing.T) {
+	uniform := []uint64{10, 10, 10, 10}
+	spiked := []uint64{1000, 1, 1, 1}
+	if d := EntropyDistance(uniform, uniform); d != 0 {
+		t.Errorf("identical distance = %v", d)
+	}
+	d := EntropyDistance(spiked, uniform)
+	if d <= 0 {
+		t.Errorf("concentration distance = %v", d)
+	}
+	// Symmetric, unlike KL.
+	if EntropyDistance(uniform, spiked) != d {
+		t.Error("entropy distance should be symmetric")
+	}
+}
+
+func TestEntropyDetectsDispersionAndConcentration(t *testing.T) {
+	base := []uint64{100, 100, 100, 100, 0, 0, 0, 0}
+	dispersed := []uint64{50, 50, 50, 50, 50, 50, 50, 50}
+	concentrated := []uint64{400, 0, 0, 0, 0, 0, 0, 0}
+	if EntropyDistance(dispersed, base) <= 0 {
+		t.Error("dispersion not detected")
+	}
+	if EntropyDistance(concentrated, base) <= 0 {
+		t.Error("concentration not detected")
+	}
+}
+
+func TestIdentifyMetricEntropy(t *testing.T) {
+	k := 32
+	ref := make([]uint64, k)
+	cur := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		ref[i] = 100
+		cur[i] = 100
+	}
+	cur[9] = 8000 // concentration anomaly
+
+	id := IdentifyAnomalousBinsMetric(cur, ref, 0, 0.01, 0, EntropyDistance)
+	if !id.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(id.Bins) != 1 || id.Bins[0] != 9 {
+		t.Fatalf("bins = %v, want [9]", id.Bins)
+	}
+}
+
+func TestIdentifyDelegatesToKL(t *testing.T) {
+	ref := []uint64{100, 100, 100, 100}
+	cur := []uint64{100, 100, 100, 5000}
+	a := IdentifyAnomalousBins(cur, ref, 0, 0.01, 0)
+	b := IdentifyAnomalousBinsMetric(cur, ref, 0, 0.01, 0, KL)
+	if len(a.Bins) != len(b.Bins) || a.Converged != b.Converged {
+		t.Error("wrapper disagrees with metric version")
+	}
+	for i := range a.KLSeries {
+		if a.KLSeries[i] != b.KLSeries[i] {
+			t.Error("series differ")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package histogram implements the randomized histograms ("clones") of
+// §II-C/D: fixed-width count histograms whose bins are assigned by a
+// seeded hash of the feature value, the Kullback–Leibler distance between
+// interval distributions, and the iterative identification of the bins
+// responsible for a KL spike.
+package histogram
+
+import (
+	"math"
+
+	"anomalyx/internal/hash"
+)
+
+// Histogram counts flows per hash bin for one feature over one
+// measurement interval, optionally remembering which feature values fell
+// into each bin (needed to map anomalous bins back to feature values —
+// §II-D "keeping a map of bins and corresponding feature values").
+type Histogram struct {
+	fn     hash.Func
+	counts []uint64
+	total  uint64
+	values []map[uint64]uint64 // per bin: value -> flow count; nil when not tracked
+}
+
+// New creates a histogram with k bins using hash function fn. When
+// trackValues is true the histogram records the feature values per bin.
+func New(k int, fn hash.Func, trackValues bool) *Histogram {
+	if k <= 0 {
+		panic("histogram: k must be positive")
+	}
+	h := &Histogram{fn: fn, counts: make([]uint64, k)}
+	if trackValues {
+		h.values = make([]map[uint64]uint64, k)
+	}
+	return h
+}
+
+// K returns the number of bins.
+func (h *Histogram) K() int { return len(h.counts) }
+
+// Total returns the number of observations added since the last Reset.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bin returns the bin index value v maps to.
+func (h *Histogram) Bin(v uint64) int { return h.fn.Bin(v, len(h.counts)) }
+
+// Add records one observation of feature value v.
+func (h *Histogram) Add(v uint64) { h.AddN(v, 1) }
+
+// AddN records n observations of feature value v.
+func (h *Histogram) AddN(v uint64, n uint64) {
+	b := h.Bin(v)
+	h.counts[b] += n
+	h.total += n
+	if h.values != nil {
+		m := h.values[b]
+		if m == nil {
+			m = make(map[uint64]uint64)
+			h.values[b] = m
+		}
+		m[v] += n
+	}
+}
+
+// Count returns the count of bin b.
+func (h *Histogram) Count(b int) uint64 { return h.counts[b] }
+
+// Counts returns the backing count slice. The caller must not modify it.
+func (h *Histogram) Counts() []uint64 { return h.counts }
+
+// CountsCopy returns a copy of the per-bin counts.
+func (h *Histogram) CountsCopy() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// ValuesInBin returns the distinct feature values observed in bin b during
+// the current interval. It returns nil when value tracking is disabled.
+func (h *Histogram) ValuesInBin(b int) []uint64 {
+	if h.values == nil || h.values[b] == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(h.values[b]))
+	for v := range h.values[b] {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Reset clears all counts and value maps for the next interval.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	if h.values != nil {
+		for i := range h.values {
+			h.values[i] = nil
+		}
+	}
+}
+
+// smoothingAlpha is the Laplace pseudo-count used when normalizing bin
+// counts into distributions. The paper does not specify its zero-bin
+// handling; additive smoothing keeps D(p||q) finite when a bin is empty
+// in the reference interval — exactly the "new traffic appears in a bin"
+// case an anomaly produces — while preserving D(p||p) = 0.
+const smoothingAlpha = 0.5
+
+// KL returns the Kullback–Leibler distance D(p || q) between two per-bin
+// count vectors of equal length, after Laplace smoothing:
+//
+//	D(p||q) = Σ_i p_i log2(p_i / q_i)
+//
+// Coinciding distributions give 0; deviations give positive values
+// (§II-C). The logarithm is base 2, so the distance is in bits.
+func KL(p, q []uint64) float64 {
+	if len(p) != len(q) {
+		panic("histogram: KL over different bin counts")
+	}
+	k := float64(len(p))
+	var np, nq float64
+	for i := range p {
+		np += float64(p[i])
+		nq += float64(q[i])
+	}
+	np += smoothingAlpha * k
+	nq += smoothingAlpha * k
+	var d float64
+	for i := range p {
+		pi := (float64(p[i]) + smoothingAlpha) / np
+		qi := (float64(q[i]) + smoothingAlpha) / nq
+		d += pi * math.Log2(pi/qi)
+	}
+	if d < 0 {
+		d = 0 // numerical floor; KL is non-negative
+	}
+	return d
+}
+
+// Distance returns D(h || ref) for two histograms of equal bin count.
+func Distance(h, ref *Histogram) float64 { return KL(h.counts, ref.counts) }

@@ -1,0 +1,38 @@
+package histogram
+
+// Identification is the outcome of the iterative anomalous-bin search of
+// §II-C / Fig. 5.
+type Identification struct {
+	// Bins are the identified anomalous bins, in removal order (largest
+	// absolute count difference first).
+	Bins []int
+	// KLSeries records the KL distance before any removal (element 0)
+	// and after each successive bin removal; it is the series Fig. 5
+	// plots. len(KLSeries) == len(Bins)+1.
+	KLSeries []float64
+	// Converged reports whether the cleaned histogram stopped alarming
+	// before maxRounds bins were removed.
+	Converged bool
+}
+
+// IdentifyAnomalousBins simulates the removal of suspicious flows until
+// the histogram no longer generates an alert (§II-C): in each round the
+// bin with the largest absolute count difference between the current and
+// reference histograms is aligned with its reference value, and the KL
+// distance is recomputed. The alarm condition matches the detector's:
+// a spike in the first difference of the KL time series, i.e.
+//
+//	KL(cleaned || ref) - klPrev > threshold
+//
+// where klPrev is the KL distance observed at the previous interval.
+// maxRounds bounds the number of removed bins (≤ 0 means no bound).
+func IdentifyAnomalousBins(cur, ref []uint64, klPrev, threshold float64, maxRounds int) Identification {
+	return IdentifyAnomalousBinsMetric(cur, ref, klPrev, threshold, maxRounds, KL)
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

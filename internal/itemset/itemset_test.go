@@ -1,0 +1,160 @@
+package itemset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anomalyx/internal/flow"
+)
+
+func TestFromFlow(t *testing.T) {
+	rec := flow.Record{
+		SrcAddr: 111, DstAddr: 222, SrcPort: 333, DstPort: 444,
+		Protocol: 6, Packets: 7, Bytes: 888,
+	}
+	tx := FromFlow(&rec)
+	if tx[flow.SrcIP] != 111 || tx[flow.DstPort] != 444 || tx[flow.Bytes] != 888 {
+		t.Errorf("transaction wrong: %v", tx)
+	}
+	items := tx.Items()
+	if len(items) != flow.NumFeatures {
+		t.Fatalf("width %d, want 7", len(items))
+	}
+	for i := 1; i < len(items); i++ {
+		if !items[i-1].Less(items[i]) && items[i-1].Kind >= items[i].Kind {
+			t.Error("items not in canonical kind order")
+		}
+	}
+}
+
+func TestTransactionContains(t *testing.T) {
+	rec := flow.Record{DstPort: 7000, Protocol: 6, Packets: 1, Bytes: 40}
+	tx := FromFlow(&rec)
+	s := NewSet([]Item{{flow.DstPort, 7000}, {flow.Proto, 6}}, 0)
+	if !tx.Contains(&s) {
+		t.Error("transaction should contain {dstPort=7000, proto=6}")
+	}
+	s2 := NewSet([]Item{{flow.DstPort, 7000}, {flow.Proto, 17}}, 0)
+	if tx.Contains(&s2) {
+		t.Error("transaction should not contain proto=17")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	items := []Item{{flow.DstPort, 7000}, {flow.SrcIP, 42}, {flow.Bytes, 1 << 40}}
+	k := KeyOf(items)
+	if k.Size() != 3 {
+		t.Fatalf("Size = %d", k.Size())
+	}
+	back := k.Items()
+	if len(back) != 3 {
+		t.Fatalf("decoded %d items", len(back))
+	}
+	// Canonical order: srcIP < dstPort < bytes.
+	if back[0].Kind != flow.SrcIP || back[1].Kind != flow.DstPort || back[2].Kind != flow.Bytes {
+		t.Errorf("decoded order wrong: %v", back)
+	}
+	if back[0].Value != 42 || back[1].Value != 7000 || back[2].Value != 1<<40 {
+		t.Errorf("decoded values wrong: %v", back)
+	}
+}
+
+func TestKeyOfPanicsOnDuplicateKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate kind accepted")
+		}
+	}()
+	KeyOf([]Item{{flow.DstPort, 80}, {flow.DstPort, 443}})
+}
+
+func TestKeyEqualityIsSetEquality(t *testing.T) {
+	f := func(v1, v2 uint32) bool {
+		a := KeyOf([]Item{{flow.SrcIP, uint64(v1)}, {flow.DstIP, uint64(v2)}})
+		b := KeyOf([]Item{{flow.DstIP, uint64(v2)}, {flow.SrcIP, uint64(v1)}})
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSubsetOf(t *testing.T) {
+	small := NewSet([]Item{{flow.DstPort, 7000}}, 0)
+	big := NewSet([]Item{{flow.DstPort, 7000}, {flow.Proto, 6}}, 0)
+	other := NewSet([]Item{{flow.DstPort, 80}}, 0)
+	if !small.SubsetOf(&big) {
+		t.Error("small should be subset of big")
+	}
+	if big.SubsetOf(&small) {
+		t.Error("big is not subset of small")
+	}
+	if other.SubsetOf(&big) {
+		t.Error("other is not subset of big")
+	}
+	if !small.SubsetOf(&small) {
+		t.Error("set is subset of itself")
+	}
+}
+
+func TestNewSetCanonicalizes(t *testing.T) {
+	s := NewSet([]Item{{flow.Bytes, 9}, {flow.SrcIP, 1}}, 5)
+	if s.Items[0].Kind != flow.SrcIP || s.Items[1].Kind != flow.Bytes {
+		t.Errorf("not canonical: %v", s.Items)
+	}
+	if s.Support != 5 {
+		t.Errorf("support %d", s.Support)
+	}
+}
+
+func TestNewSetCopiesInput(t *testing.T) {
+	in := []Item{{flow.SrcIP, 1}, {flow.Bytes, 9}}
+	s := NewSet(in, 0)
+	in[0] = Item{flow.SrcIP, 999}
+	if s.Items[0].Value == 999 {
+		t.Error("NewSet aliases its input")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet([]Item{{flow.DstPort, 7000}, {flow.Proto, 6}}, 53467)
+	want := "{dstPort=7000, proto=6} (support 53467)"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+}
+
+func TestItemString(t *testing.T) {
+	it := Item{flow.DstIP, uint64(flow.MustParseU32("10.1.2.3"))}
+	if it.String() != "dstIP=10.1.2.3" {
+		t.Errorf("String = %q", it.String())
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	sets := []Set{
+		NewSet([]Item{{flow.DstPort, 80}}, 10),
+		NewSet([]Item{{flow.DstPort, 80}, {flow.Proto, 6}}, 30),
+		NewSet([]Item{{flow.DstPort, 25}}, 30),
+		NewSet([]Item{{flow.DstPort, 7000}}, 100),
+	}
+	SortSets(sets)
+	if sets[0].Support != 100 {
+		t.Errorf("first by support: %v", sets[0])
+	}
+	// Equal support: larger set first.
+	if sets[1].Size() != 2 || sets[2].Size() != 1 {
+		t.Errorf("tie-break by size failed: %v then %v", sets[1], sets[2])
+	}
+	if sets[3].Support != 10 {
+		t.Errorf("last: %v", sets[3])
+	}
+}
+
+func TestFromFlows(t *testing.T) {
+	recs := []flow.Record{{DstPort: 1}, {DstPort: 2}}
+	txs := FromFlows(recs)
+	if len(txs) != 2 || txs[0][flow.DstPort] != 1 || txs[1][flow.DstPort] != 2 {
+		t.Errorf("FromFlows wrong: %v", txs)
+	}
+}

@@ -1,0 +1,48 @@
+package itemset
+
+import (
+	"math/bits"
+
+	"anomalyx/internal/flow"
+)
+
+// Quantitative features like flow size in packets or bytes rarely repeat
+// exactly: two downloads of the same object differ by a few packets, so
+// exact-value items fragment their support. §V lists "mining on ...
+// quantitative features" as an extension; the standard approach is to
+// bucket such features before mining. Log2Quantize buckets a value to
+// the lower bound of its power-of-two interval — 1, 2-3, 4-7, 8-15, ... —
+// which keeps small flow sizes exact (where anomalies such as
+// single-packet scans live) while merging the heavy tail.
+
+// Log2Bucket maps v to its bucket representative: the largest power of
+// two not exceeding v (0 maps to 0).
+func Log2Bucket(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return 1 << (bits.Len64(v) - 1)
+}
+
+// QuantizeTransaction buckets the given feature kinds of tx in place and
+// returns it.
+func QuantizeTransaction(tx Transaction, kinds ...flow.FeatureKind) Transaction {
+	for _, k := range kinds {
+		tx[k] = Log2Bucket(tx[k])
+	}
+	return tx
+}
+
+// QuantizeAll buckets the given features of every transaction, returning
+// a new slice.
+func QuantizeAll(txs []Transaction, kinds ...flow.FeatureKind) []Transaction {
+	out := make([]Transaction, len(txs))
+	for i, tx := range txs {
+		out[i] = QuantizeTransaction(tx, kinds...)
+	}
+	return out
+}
+
+// SizeKinds are the quantitative flow-size features usually bucketed
+// together.
+var SizeKinds = []flow.FeatureKind{flow.Packets, flow.Bytes}

@@ -1,0 +1,60 @@
+package itemset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anomalyx/internal/flow"
+)
+
+func TestLog2Bucket(t *testing.T) {
+	cases := map[uint64]uint64{
+		0: 0, 1: 1, 2: 2, 3: 2, 4: 4, 7: 4, 8: 8, 15: 8,
+		16: 16, 1023: 512, 1024: 1024, 1 << 40: 1 << 40,
+	}
+	for in, want := range cases {
+		if got := Log2Bucket(in); got != want {
+			t.Errorf("Log2Bucket(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestLog2BucketProperties(t *testing.T) {
+	f := func(v uint64) bool {
+		b := Log2Bucket(v)
+		if v == 0 {
+			return b == 0
+		}
+		// Bucket is a power of two, <= v, and v < 2*bucket.
+		return b&(b-1) == 0 && b <= v && (b > 1<<62 || v < 2*b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeTransaction(t *testing.T) {
+	rec := flow.Record{DstPort: 443, Packets: 100, Bytes: 150000}
+	tx := QuantizeTransaction(FromFlow(&rec), SizeKinds...)
+	if tx[flow.Packets] != 64 {
+		t.Errorf("packets bucket %d", tx[flow.Packets])
+	}
+	if tx[flow.Bytes] != 131072 {
+		t.Errorf("bytes bucket %d", tx[flow.Bytes])
+	}
+	if tx[flow.DstPort] != 443 {
+		t.Error("non-size feature modified")
+	}
+}
+
+func TestQuantizeAllDoesNotMutateInput(t *testing.T) {
+	rec := flow.Record{Packets: 9}
+	in := []Transaction{FromFlow(&rec)}
+	out := QuantizeAll(in, flow.Packets)
+	if in[0][flow.Packets] != 9 {
+		t.Error("input mutated")
+	}
+	if out[0][flow.Packets] != 8 {
+		t.Errorf("output bucket %d", out[0][flow.Packets])
+	}
+}

@@ -1,0 +1,210 @@
+// Package apriori implements the paper's modified Apriori algorithm
+// (§II-B): level-wise candidate generation over seven-feature flow
+// transactions, with output restricted to maximal frequent item-sets.
+//
+// Each round k computes the support of all candidate k-item-sets; the
+// frequent ones seed the candidate generation of round k+1; the algorithm
+// stops when a round finds no frequent item-sets. Because every
+// transaction has exactly seven items, at most seven rounds run. Support
+// counting exploits the narrow transactions: instead of a hash tree, each
+// transaction is first projected onto the frequent 1-items it contains,
+// and then its k-subsets (at most C(7,k) ≤ 35) are enumerated and looked
+// up in the candidate table.
+package apriori
+
+import (
+	"sort"
+
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining"
+)
+
+// Miner is the Apriori implementation of mining.Miner.
+type Miner struct{}
+
+// New returns an Apriori miner.
+func New() *Miner { return &Miner{} }
+
+// Name implements mining.Miner.
+func (m *Miner) Name() string { return "apriori" }
+
+// Mine implements mining.Miner.
+func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, error) {
+	if err := mining.ValidateInput(txs, minsup); err != nil {
+		return nil, err
+	}
+
+	// Round 1: count every item.
+	oneCounts := make(map[itemset.Item]int)
+	for i := range txs {
+		for _, it := range txs[i].Items() {
+			oneCounts[it]++
+		}
+	}
+	frequent1 := make(map[itemset.Item]bool)
+	var all []itemset.Set
+	for it, n := range oneCounts {
+		if n >= minsup {
+			frequent1[it] = true
+			all = append(all, itemset.NewSet([]itemset.Item{it}, n))
+		}
+	}
+	if len(frequent1) == 0 {
+		return mining.BuildResult(nil, len(txs), minsup), nil
+	}
+
+	// Project every transaction onto its frequent 1-items (canonical
+	// order is preserved because Items() iterates kinds in order).
+	projected := make([][]itemset.Item, 0, len(txs))
+	for i := range txs {
+		var p []itemset.Item
+		for _, it := range txs[i].Items() {
+			if frequent1[it] {
+				p = append(p, it)
+			}
+		}
+		if len(p) >= 2 {
+			projected = append(projected, p)
+		}
+	}
+
+	// Seed the level loop with the frequent 1-item-sets.
+	prev := make([][]itemset.Item, 0, len(frequent1))
+	prevSupport := make(map[itemset.Key]int, len(frequent1))
+	for it := range frequent1 {
+		prev = append(prev, []itemset.Item{it})
+		prevSupport[itemset.KeyOf([]itemset.Item{it})] = oneCounts[it]
+	}
+	sortSetsLex(prev)
+
+	for k := 2; k <= len(txs[0]); k++ {
+		candidates := generateCandidates(prev, prevSupport)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := make(map[itemset.Key]int, len(candidates))
+		for key := range candidates {
+			counts[key] = 0
+		}
+		for _, p := range projected {
+			if len(p) < k {
+				continue
+			}
+			forEachSubset(p, k, func(key itemset.Key) {
+				if _, ok := counts[key]; ok {
+					counts[key]++
+				}
+			})
+		}
+
+		var next [][]itemset.Item
+		nextSupport := make(map[itemset.Key]int)
+		for key, n := range counts {
+			if n >= minsup {
+				items := key.Items()
+				next = append(next, items)
+				nextSupport[key] = n
+				all = append(all, itemset.NewSet(items, n))
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		sortSetsLex(next)
+		prev, prevSupport = next, nextSupport
+	}
+
+	return mining.BuildResult(all, len(txs), minsup), nil
+}
+
+// generateCandidates performs the classic Apriori join+prune: two
+// frequent (k-1)-item-sets sharing their first k-2 items join into a
+// k-candidate, which is kept only if all its (k-1)-subsets are frequent.
+func generateCandidates(prev [][]itemset.Item, prevSupport map[itemset.Key]int) map[itemset.Key]bool {
+	out := make(map[itemset.Key]bool)
+	n := len(prev)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := prev[i], prev[j]
+			if !samePrefix(a, b) {
+				// prev is sorted lexicographically, so once the prefix
+				// changes no later j can match i.
+				break
+			}
+			la, lb := a[len(a)-1], b[len(b)-1]
+			if la.Kind == lb.Kind {
+				// Two items of the same feature kind can never co-occur
+				// in a transaction.
+				continue
+			}
+			cand := make([]itemset.Item, len(a)+1)
+			copy(cand, a)
+			cand[len(a)] = lb
+			sort.Slice(cand, func(x, y int) bool { return cand[x].Less(cand[y]) })
+
+			if prunedByInfrequentSubset(cand, prevSupport) {
+				continue
+			}
+			out[itemset.KeyOf(cand)] = true
+		}
+	}
+	return out
+}
+
+// prunedByInfrequentSubset applies the Apriori property: a candidate with
+// any infrequent (k-1)-subset cannot be frequent.
+func prunedByInfrequentSubset(cand []itemset.Item, prevSupport map[itemset.Key]int) bool {
+	for drop := 0; drop < len(cand); drop++ {
+		var key itemset.Key
+		for j, it := range cand {
+			if j != drop {
+				key = key.Add(it)
+			}
+		}
+		if _, ok := prevSupport[key]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// samePrefix reports whether a and b agree on all but their last item.
+func samePrefix(a, b []itemset.Item) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachSubset enumerates all k-subsets of items (in canonical order)
+// and invokes fn with each subset's key.
+func forEachSubset(items []itemset.Item, k int, fn func(itemset.Key)) {
+	var rec func(start int, picked int, key itemset.Key)
+	rec = func(start, picked int, key itemset.Key) {
+		if picked == k {
+			fn(key)
+			return
+		}
+		// Not enough items left to complete the subset.
+		for i := start; len(items)-i >= k-picked; i++ {
+			rec(i+1, picked+1, key.Add(items[i]))
+		}
+	}
+	rec(0, 0, itemset.Key{})
+}
+
+// sortSetsLex orders item slices lexicographically so the join can use
+// the sorted-prefix early exit.
+func sortSetsLex(sets [][]itemset.Item) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k].Less(b[k])
+			}
+		}
+		return len(a) < len(b)
+	})
+}

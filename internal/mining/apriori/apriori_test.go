@@ -1,0 +1,147 @@
+package apriori
+
+import (
+	"testing"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+)
+
+func item(k flow.FeatureKind, v uint64) itemset.Item {
+	return itemset.Item{Kind: k, Value: v}
+}
+
+func TestGenerateCandidatesJoin(t *testing.T) {
+	// {a,b} and {a,c} share prefix {a} -> candidate {a,b,c} iff all
+	// 2-subsets are frequent.
+	a := item(flow.SrcIP, 1)
+	b := item(flow.DstIP, 2)
+	c := item(flow.DstPort, 3)
+	prev := [][]itemset.Item{{a, b}, {a, c}, {b, c}}
+	support := map[itemset.Key]int{
+		itemset.KeyOf([]itemset.Item{a, b}): 5,
+		itemset.KeyOf([]itemset.Item{a, c}): 5,
+		itemset.KeyOf([]itemset.Item{b, c}): 5,
+	}
+	sortSetsLex(prev)
+	cands := generateCandidates(prev, support)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	want := itemset.KeyOf([]itemset.Item{a, b, c})
+	if !cands[want] {
+		t.Errorf("missing candidate {a,b,c}")
+	}
+}
+
+func TestGenerateCandidatesPrunesInfrequentSubset(t *testing.T) {
+	// Without {b,c} frequent, {a,b,c} must be pruned.
+	a := item(flow.SrcIP, 1)
+	b := item(flow.DstIP, 2)
+	c := item(flow.DstPort, 3)
+	prev := [][]itemset.Item{{a, b}, {a, c}}
+	support := map[itemset.Key]int{
+		itemset.KeyOf([]itemset.Item{a, b}): 5,
+		itemset.KeyOf([]itemset.Item{a, c}): 5,
+	}
+	sortSetsLex(prev)
+	if cands := generateCandidates(prev, support); len(cands) != 0 {
+		t.Errorf("candidates = %v, want none", cands)
+	}
+}
+
+func TestGenerateCandidatesSkipsSameKind(t *testing.T) {
+	// {a, port80} and {a, port443} share the prefix but their last items
+	// have the same feature kind: no transaction can contain both.
+	a := item(flow.SrcIP, 1)
+	p80 := item(flow.DstPort, 80)
+	p443 := item(flow.DstPort, 443)
+	prev := [][]itemset.Item{{a, p80}, {a, p443}}
+	support := map[itemset.Key]int{
+		itemset.KeyOf([]itemset.Item{a, p80}):  5,
+		itemset.KeyOf([]itemset.Item{a, p443}): 5,
+	}
+	sortSetsLex(prev)
+	if cands := generateCandidates(prev, support); len(cands) != 0 {
+		t.Errorf("same-kind join produced candidates: %v", cands)
+	}
+}
+
+func TestForEachSubsetCounts(t *testing.T) {
+	items := []itemset.Item{
+		item(flow.SrcIP, 1), item(flow.DstIP, 2),
+		item(flow.DstPort, 3), item(flow.Proto, 4),
+	}
+	for k, want := range map[int]int{1: 4, 2: 6, 3: 4, 4: 1} {
+		got := 0
+		forEachSubset(items, k, func(itemset.Key) { got++ })
+		if got != want {
+			t.Errorf("C(4,%d): got %d subsets, want %d", k, got, want)
+		}
+	}
+	// k > len(items): nothing.
+	got := 0
+	forEachSubset(items, 5, func(itemset.Key) { got++ })
+	if got != 0 {
+		t.Errorf("C(4,5) = %d", got)
+	}
+}
+
+func TestForEachSubsetKeysAreCorrect(t *testing.T) {
+	a := item(flow.SrcIP, 1)
+	b := item(flow.DstIP, 2)
+	c := item(flow.DstPort, 3)
+	seen := map[itemset.Key]bool{}
+	forEachSubset([]itemset.Item{a, b, c}, 2, func(k itemset.Key) { seen[k] = true })
+	for _, pair := range [][]itemset.Item{{a, b}, {a, c}, {b, c}} {
+		if !seen[itemset.KeyOf(pair)] {
+			t.Errorf("missing subset %v", pair)
+		}
+	}
+}
+
+func TestSamePrefix(t *testing.T) {
+	a := item(flow.SrcIP, 1)
+	b := item(flow.DstIP, 2)
+	c := item(flow.DstPort, 3)
+	if !samePrefix([]itemset.Item{a, b}, []itemset.Item{a, c}) {
+		t.Error("shared prefix not recognized")
+	}
+	if samePrefix([]itemset.Item{a, b}, []itemset.Item{b, c}) {
+		t.Error("different prefix accepted")
+	}
+	// 1-item-sets: the empty prefix always matches.
+	if !samePrefix([]itemset.Item{a}, []itemset.Item{b}) {
+		t.Error("empty prefix should match")
+	}
+}
+
+func TestMinerName(t *testing.T) {
+	if New().Name() != "apriori" {
+		t.Error("name")
+	}
+}
+
+func TestSevenPassBound(t *testing.T) {
+	// Identical transactions: the full 7-item-set is frequent, and the
+	// algorithm must terminate after at most seven levels.
+	rec := flow.Record{SrcAddr: 1, DstAddr: 2, SrcPort: 3, DstPort: 4, Protocol: 6, Packets: 5, Bytes: 6}
+	txs := make([]itemset.Transaction, 10)
+	for i := range txs {
+		txs[i] = itemset.FromFlow(&rec)
+	}
+	res, err := New().Mine(txs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != flow.NumFeatures {
+		t.Errorf("levels = %d, want 7", len(res.Levels))
+	}
+	// 2^7 - 1 frequent item-sets, exactly one maximal.
+	if len(res.All) != 127 {
+		t.Errorf("frequent sets = %d, want 127", len(res.All))
+	}
+	if len(res.Maximal) != 1 || res.Maximal[0].Size() != 7 {
+		t.Errorf("maximal = %v", res.Maximal)
+	}
+}

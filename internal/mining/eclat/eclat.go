@@ -1,0 +1,105 @@
+// Package eclat implements the Eclat frequent item-set miner (vertical
+// tid-list intersection, Zaki [35] in the paper's bibliography) plus the
+// sliding-window variant sketched by Li and Deng [21] for monitoring
+// flows in motion. Both produce exactly the same frequent item-sets as
+// the Apriori and FP-Growth implementations.
+package eclat
+
+import (
+	"sort"
+
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining"
+)
+
+// Miner is the Eclat implementation of mining.Miner.
+type Miner struct{}
+
+// New returns an Eclat miner.
+func New() *Miner { return &Miner{} }
+
+// Name implements mining.Miner.
+func (m *Miner) Name() string { return "eclat" }
+
+// vert is one item with its transaction-id list (always sorted).
+type vert struct {
+	item itemset.Item
+	tids []int32
+}
+
+// Mine implements mining.Miner.
+func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, error) {
+	if err := mining.ValidateInput(txs, minsup); err != nil {
+		return nil, err
+	}
+
+	lists := make(map[itemset.Item][]int32)
+	for i := range txs {
+		for _, it := range txs[i].Items() {
+			lists[it] = append(lists[it], int32(i))
+		}
+	}
+	var roots []vert
+	for it, tids := range lists {
+		if len(tids) >= minsup {
+			roots = append(roots, vert{item: it, tids: tids})
+		}
+	}
+	all := mineVertical(roots, minsup)
+	return mining.BuildResult(all, len(txs), minsup), nil
+}
+
+// mineVertical runs the shared depth-first tid-list search from the given
+// frequent 1-item verticals.
+func mineVertical(roots []vert, minsup int) []itemset.Set {
+	// Canonical order keeps the DFS deterministic.
+	sort.Slice(roots, func(i, j int) bool { return roots[i].item.Less(roots[j].item) })
+
+	var all []itemset.Set
+	var dfs func(prefix []itemset.Item, ext []vert)
+	dfs = func(prefix []itemset.Item, ext []vert) {
+		for i := range ext {
+			withItem := append(prefix, ext[i].item)
+			all = append(all, itemset.NewSet(withItem, len(ext[i].tids)))
+
+			var next []vert
+			for j := i + 1; j < len(ext); j++ {
+				// Two items of the same feature kind never co-occur.
+				if ext[j].item.Kind == ext[i].item.Kind {
+					continue
+				}
+				tids := intersect(ext[i].tids, ext[j].tids)
+				if len(tids) >= minsup {
+					next = append(next, vert{item: ext[j].item, tids: tids})
+				}
+			}
+			if len(next) > 0 {
+				dfs(withItem, next)
+			}
+		}
+	}
+	dfs(nil, roots)
+	return all
+}
+
+// intersect merges two sorted tid-lists.
+func intersect(a, b []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]int32, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package eclat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+)
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want []int32
+	}{
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, []int32{2, 3}},
+		{[]int32{1, 5, 9}, []int32{2, 6, 10}, []int32{}},
+		{nil, []int32{1}, []int32{}},
+		{[]int32{7}, []int32{7}, []int32{7}},
+		{[]int32{1, 2, 3, 4, 5}, []int32{3}, []int32{3}},
+	}
+	for _, c := range cases {
+		got := intersect(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIntersectCommutative(t *testing.T) {
+	f := func(aRaw, bRaw []uint16) bool {
+		a := sortedTids(aRaw)
+		b := sortedTids(bRaw)
+		x := intersect(a, b)
+		y := intersect(b, a)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortedTids(raw []uint16) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, v := range raw {
+		seen[int32(v)] = true
+	}
+	for v := int32(0); v < 65536; v++ {
+		if seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestMineVerticalDFS(t *testing.T) {
+	a := itemset.Item{Kind: flow.SrcIP, Value: 1}
+	b := itemset.Item{Kind: flow.DstIP, Value: 2}
+	roots := []vert{
+		{item: a, tids: []int32{0, 1, 2, 3}},
+		{item: b, tids: []int32{0, 1, 2}},
+	}
+	all := mineVertical(roots, 3)
+	// {a}:4, {b}:3, {a,b}:3.
+	if len(all) != 3 {
+		t.Fatalf("sets = %v", all)
+	}
+	found := map[string]int{}
+	for i := range all {
+		found[all[i].String()] = all[i].Support
+	}
+	if found["{srcIP=0.0.0.1} (support 4)"] != 4 {
+		t.Errorf("missing {a}: %v", found)
+	}
+}
+
+func TestMineVerticalSkipsSameKind(t *testing.T) {
+	p80 := itemset.Item{Kind: flow.DstPort, Value: 80}
+	p443 := itemset.Item{Kind: flow.DstPort, Value: 443}
+	roots := []vert{
+		{item: p80, tids: []int32{0, 1}},
+		{item: p443, tids: []int32{2, 3}},
+	}
+	all := mineVertical(roots, 2)
+	for i := range all {
+		if all[i].Size() > 1 {
+			t.Errorf("same-kind combination emitted: %v", all[i])
+		}
+	}
+}
+
+func TestWindowLowerBound(t *testing.T) {
+	tids := []int64{1, 3, 5, 7, 9}
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 5: 2, 6: 3, 9: 4, 10: 5}
+	for min, want := range cases {
+		if got := lowerBound(tids, min); got != want {
+			t.Errorf("lowerBound(%d) = %d, want %d", min, got, want)
+		}
+	}
+	if lowerBound(nil, 5) != 0 {
+		t.Error("empty list")
+	}
+}
+
+func TestWindowCompactDropsDeadItems(t *testing.T) {
+	w := NewWindow(10)
+	old := itemset.FromFlow(&flow.Record{DstPort: 7777})
+	for i := 0; i < 10; i++ {
+		w.Push(old)
+	}
+	fresh := itemset.FromFlow(&flow.Record{DstPort: 80})
+	// Push enough to evict all old transactions and trigger compaction.
+	for i := 0; i < 25; i++ {
+		w.Push(fresh)
+	}
+	if _, ok := w.lists[itemset.Item{Kind: flow.DstPort, Value: 7777}]; ok {
+		t.Error("evicted item still holds a tid-list after compaction")
+	}
+	if w.Len() != 10 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestWindowMineRespectsMinsupValidation(t *testing.T) {
+	w := NewWindow(5)
+	if _, err := w.Mine(0); err == nil {
+		t.Error("minsup 0 accepted")
+	}
+}
+
+func TestMinerName(t *testing.T) {
+	if New().Name() != "eclat" {
+		t.Error("name")
+	}
+}
+
+func TestMineEndToEnd(t *testing.T) {
+	var txs []itemset.Transaction
+	for i := 0; i < 20; i++ {
+		rec := flow.Record{DstPort: 445, Protocol: 6, Packets: 1, Bytes: 48,
+			SrcAddr: 99, DstAddr: uint32(i), SrcPort: uint16(i + 1000)}
+		txs = append(txs, itemset.FromFlow(&rec))
+	}
+	res, err := New().Mine(txs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Maximal) != 1 {
+		t.Fatalf("maximal = %v", res.Maximal)
+	}
+	// The shared items {srcIP, dstPort, proto, packets, bytes} all
+	// co-occur in every transaction.
+	if res.Maximal[0].Size() != 5 || res.Maximal[0].Support != 20 {
+		t.Errorf("got %v", res.Maximal[0])
+	}
+	if _, err := New().Mine(txs, 0); err == nil {
+		t.Error("minsup 0 accepted")
+	}
+}
+
+func TestWindowAccessors(t *testing.T) {
+	w := NewWindow(7)
+	if w.Capacity() != 7 || w.Len() != 0 {
+		t.Errorf("capacity %d len %d", w.Capacity(), w.Len())
+	}
+	w.Push(itemset.FromFlow(&flow.Record{DstPort: 1}))
+	if w.Len() != 1 {
+		t.Errorf("len %d", w.Len())
+	}
+}
+
+func TestWindowMineFindsCooccurrence(t *testing.T) {
+	w := NewWindow(50)
+	for i := 0; i < 30; i++ {
+		w.Push(itemset.FromFlow(&flow.Record{
+			DstPort: 9996, Protocol: 6, Packets: 3, Bytes: 300,
+			SrcAddr: uint32(i), DstAddr: uint32(2 * i), SrcPort: uint16(i),
+		}))
+	}
+	res, err := w.Mine(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Maximal) != 1 || res.Maximal[0].Support != 30 {
+		t.Fatalf("maximal = %v", res.Maximal)
+	}
+	if res.Transactions != 30 {
+		t.Errorf("Transactions = %d", res.Transactions)
+	}
+}

@@ -1,0 +1,41 @@
+package mining_test
+
+import (
+	"fmt"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining/apriori"
+)
+
+// Mining the §II-B way: flows become seven-item transactions, and the
+// modified Apriori reports only maximal frequent item-sets.
+func Example() {
+	var flows []flow.Record
+	// A small flood: 6 identical-signature flows to one victim...
+	for i := 0; i < 6; i++ {
+		flows = append(flows, flow.Record{
+			SrcAddr: uint32(100 + i), DstAddr: flow.MustParseU32("10.0.0.42"),
+			SrcPort: uint16(40000 + i), DstPort: 7000,
+			Protocol: flow.ProtoTCP, Packets: 1, Bytes: 40,
+		})
+	}
+	// ...plus unrelated background flows.
+	for i := 0; i < 4; i++ {
+		flows = append(flows, flow.Record{
+			SrcAddr: uint32(i), DstAddr: uint32(1000 + i),
+			SrcPort: uint16(i), DstPort: uint16(i),
+			Protocol: flow.ProtoUDP, Packets: uint32(10 + i), Bytes: uint64(900 + i),
+		})
+	}
+
+	res, err := apriori.New().Mine(itemset.FromFlows(flows), 5)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range res.Maximal {
+		fmt.Println(s.String())
+	}
+	// Output:
+	// {dstIP=10.0.0.42, dstPort=7000, proto=6, packets=1, bytes=40} (support 6)
+}

@@ -1,0 +1,132 @@
+package fpgrowth
+
+import (
+	"testing"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+)
+
+func item(k flow.FeatureKind, v uint64) itemset.Item {
+	return itemset.Item{Kind: k, Value: v}
+}
+
+func TestTreePathSharing(t *testing.T) {
+	// Two identical rows must share one path; a divergent row forks.
+	a := item(flow.SrcIP, 1)
+	b := item(flow.DstIP, 2)
+	c := item(flow.DstPort, 3)
+	counts := map[itemset.Item]int{a: 3, b: 2, c: 1}
+	rows := []row{
+		{items: []itemset.Item{a, b}, count: 1},
+		{items: []itemset.Item{a, b}, count: 1},
+		{items: []itemset.Item{a, c}, count: 1},
+	}
+	tr := build(rows, counts)
+	// Root has exactly one child (a, count 3).
+	if len(tr.root.children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(tr.root.children))
+	}
+	na := tr.root.children[a]
+	if na == nil || na.count != 3 {
+		t.Fatalf("node a = %+v", na)
+	}
+	if len(na.children) != 2 {
+		t.Errorf("a children = %d, want 2 (b and c)", len(na.children))
+	}
+	if nb := na.children[b]; nb == nil || nb.count != 2 {
+		t.Errorf("node b = %+v", nb)
+	}
+}
+
+func TestHeaderOrderAscendingSupport(t *testing.T) {
+	a := item(flow.SrcIP, 1)
+	b := item(flow.DstIP, 2)
+	counts := map[itemset.Item]int{a: 10, b: 3}
+	tr := build(nil, counts)
+	if len(tr.headers) != 2 {
+		t.Fatalf("headers = %d", len(tr.headers))
+	}
+	if tr.headers[0].item != b || tr.headers[1].item != a {
+		t.Errorf("header order wrong: %v then %v", tr.headers[0].item, tr.headers[1].item)
+	}
+}
+
+func TestHeaderChainsLinkAllNodes(t *testing.T) {
+	a := item(flow.SrcIP, 1)
+	b := item(flow.DstIP, 2)
+	c := item(flow.DstPort, 3)
+	// c is the least frequent item, so it is inserted deepest and ends
+	// up under both the a- and the b-branch.
+	counts := map[itemset.Item]int{a: 5, b: 4, c: 2}
+	rows := []row{
+		{items: []itemset.Item{a, c}, count: 1},
+		{items: []itemset.Item{b, c}, count: 1},
+	}
+	tr := build(rows, counts)
+	// c appears under both branches: its header chain must have 2 nodes.
+	n := 0
+	for node := tr.headers[tr.index[c]].head; node != nil; node = node.next {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("c chain length = %d, want 2", n)
+	}
+}
+
+func TestMineSingleItem(t *testing.T) {
+	recs := make([]itemset.Transaction, 5)
+	for i := range recs {
+		rec := flow.Record{DstPort: 80, SrcAddr: uint32(i * 1000), DstAddr: uint32(i * 777), SrcPort: uint16(i), Protocol: uint8(i + 10), Packets: uint32(i + 100), Bytes: uint64(i + 1e6)}
+		recs[i] = itemset.FromFlow(&rec)
+	}
+	res, err := New().Mine(recs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != 1 {
+		t.Fatalf("sets = %v", res.All)
+	}
+	if res.All[0].Items[0] != item(flow.DstPort, 80) || res.All[0].Support != 5 {
+		t.Errorf("got %v", res.All[0])
+	}
+}
+
+func TestConditionalTreeRecursion(t *testing.T) {
+	// Construct a case that requires a two-deep conditional tree:
+	// {a,b,c} x4, {a,b} x2, {c} x1 at minsup 3.
+	mk := func(src, dst uint32, port uint16) itemset.Transaction {
+		rec := flow.Record{SrcAddr: src, DstAddr: dst, DstPort: port,
+			SrcPort: 9, Protocol: 6, Packets: 1, Bytes: 1}
+		return itemset.FromFlow(&rec)
+	}
+	var txs []itemset.Transaction
+	for i := 0; i < 4; i++ {
+		txs = append(txs, mk(1, 2, 3))
+	}
+	// Vary everything else so only the target items are frequent.
+	txs = append(txs, mk(1, 2, 1000), mk(1, 2, 2000), mk(500, 600, 3))
+
+	res, err := New().Mine(txs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// srcIP=1 (6), dstIP=2 (6), dstPort=3 (5), srcPort=9 (7), proto (7),
+	// packets (7), bytes (7) are frequent; the full 7-item-set has
+	// support 4 and must be found via deep recursion.
+	var full *itemset.Set
+	for i := range res.All {
+		if res.All[i].Size() == 7 {
+			full = &res.All[i]
+		}
+	}
+	if full == nil || full.Support != 4 {
+		t.Fatalf("7-item-set missing or wrong: %v", full)
+	}
+}
+
+func TestMinerName(t *testing.T) {
+	if New().Name() != "fp-growth" {
+		t.Error("name")
+	}
+}

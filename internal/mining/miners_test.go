@@ -1,0 +1,377 @@
+package mining_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining"
+	"anomalyx/internal/mining/apriori"
+	"anomalyx/internal/mining/eclat"
+	"anomalyx/internal/mining/fpgrowth"
+	"anomalyx/internal/stats"
+)
+
+var allMiners = []mining.Miner{apriori.New(), fpgrowth.New(), eclat.New()}
+
+// bruteForce is the oracle: enumerate every subset of every transaction
+// and count supports directly.
+func bruteForce(txs []itemset.Transaction, minsup int) *mining.Result {
+	counts := make(map[itemset.Key]int)
+	for t := range txs {
+		items := txs[t].Items()
+		// All 2^7-1 nonempty subsets.
+		for mask := 1; mask < 1<<len(items); mask++ {
+			var key itemset.Key
+			for b := 0; b < len(items); b++ {
+				if mask&(1<<b) != 0 {
+					key = key.Add(items[b])
+				}
+			}
+			counts[key]++
+		}
+	}
+	var all []itemset.Set
+	for key, n := range counts {
+		if n >= minsup {
+			all = append(all, itemset.NewSet(key.Items(), n))
+		}
+	}
+	return mining.BuildResult(all, len(txs), minsup)
+}
+
+// randomTxs generates small random transactions with limited value
+// cardinality so frequent sets actually occur.
+func randomTxs(seed uint64, n int) []itemset.Transaction {
+	r := stats.NewRand(seed)
+	txs := make([]itemset.Transaction, n)
+	for i := range txs {
+		rec := flow.Record{
+			SrcAddr: uint32(r.IntN(4)), DstAddr: uint32(r.IntN(3)),
+			SrcPort: uint16(r.IntN(5)), DstPort: uint16(r.IntN(3)),
+			Protocol: uint8(6 + 11*r.IntN(2)),
+			Packets:  uint32(1 + r.IntN(3)), Bytes: uint64(40 * (1 + r.IntN(3))),
+		}
+		txs[i] = itemset.FromFlow(&rec)
+	}
+	return txs
+}
+
+func TestMinersMatchBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		txs := randomTxs(seed, 200)
+		for _, minsup := range []int{20, 50, 120} {
+			want := bruteForce(txs, minsup)
+			for _, m := range allMiners {
+				got, err := m.Mine(txs, minsup)
+				if err != nil {
+					t.Fatalf("%s: %v", m.Name(), err)
+				}
+				if !mining.Equal(got, want) {
+					t.Errorf("seed=%d minsup=%d: %s disagrees with brute force (%d vs %d sets)",
+						seed, minsup, m.Name(), len(got.All), len(want.All))
+				}
+			}
+		}
+	}
+}
+
+func TestMinersAgreeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, supRaw uint8) bool {
+		n := 50 + int(nRaw)%200
+		minsup := 5 + int(supRaw)%40
+		txs := randomTxs(seed, n)
+		ref, err := allMiners[0].Mine(txs, minsup)
+		if err != nil {
+			return false
+		}
+		for _, m := range allMiners[1:] {
+			got, err := m.Mine(txs, minsup)
+			if err != nil || !mining.Equal(got, ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinersSupportMonotonicity(t *testing.T) {
+	// Raising the minimum support can only shrink the result set.
+	txs := randomTxs(7, 300)
+	for _, m := range allMiners {
+		prevCount := -1
+		for _, minsup := range []int{10, 30, 60, 120, 250} {
+			res, err := m.Mine(txs, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prevCount >= 0 && len(res.All) > prevCount {
+				t.Errorf("%s: result grew when support rose", m.Name())
+			}
+			prevCount = len(res.All)
+			// Every reported support must meet the threshold.
+			for i := range res.All {
+				if res.All[i].Support < minsup {
+					t.Errorf("%s: set below minsup: %v", m.Name(), res.All[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMinersDownwardClosure(t *testing.T) {
+	// Every subset of a frequent item-set must be frequent with at
+	// least the same support.
+	txs := randomTxs(11, 400)
+	for _, m := range allMiners {
+		res, err := m.Mine(txs, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySupport := make(map[itemset.Key]int)
+		for i := range res.All {
+			bySupport[res.All[i].Key()] = res.All[i].Support
+		}
+		for i := range res.All {
+			s := &res.All[i]
+			if s.Size() < 2 {
+				continue
+			}
+			for drop := 0; drop < s.Size(); drop++ {
+				var key itemset.Key
+				for j, it := range s.Items {
+					if j != drop {
+						key = key.Add(it)
+					}
+				}
+				sub, ok := bySupport[key]
+				if !ok {
+					t.Fatalf("%s: subset of frequent set missing", m.Name())
+				}
+				if sub < s.Support {
+					t.Fatalf("%s: subset support %d < superset %d", m.Name(), sub, s.Support)
+				}
+			}
+		}
+	}
+}
+
+func TestMinersMaximalSetsAreMaximal(t *testing.T) {
+	txs := randomTxs(13, 300)
+	for _, m := range allMiners {
+		res, err := m.Mine(txs, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.Maximal {
+			for j := range res.All {
+				if res.Maximal[i].Size() < res.All[j].Size() &&
+					res.Maximal[i].SubsetOf(&res.All[j]) {
+					t.Fatalf("%s: %v is subset of frequent %v",
+						m.Name(), res.Maximal[i], res.All[j])
+				}
+			}
+		}
+		// And every non-maximal frequent set must have a frequent
+		// superset.
+		maximal := make(map[itemset.Key]bool)
+		for i := range res.Maximal {
+			maximal[res.Maximal[i].Key()] = true
+		}
+		for i := range res.All {
+			if maximal[res.All[i].Key()] {
+				continue
+			}
+			hasSuper := false
+			for j := range res.All {
+				if res.All[i].Size() < res.All[j].Size() && res.All[i].SubsetOf(&res.All[j]) {
+					hasSuper = true
+					break
+				}
+			}
+			if !hasSuper {
+				t.Fatalf("%s: non-maximal %v has no frequent superset", m.Name(), res.All[i])
+			}
+		}
+	}
+}
+
+func TestMinersRejectBadSupport(t *testing.T) {
+	txs := randomTxs(1, 10)
+	for _, m := range allMiners {
+		if _, err := m.Mine(txs, 0); err == nil {
+			t.Errorf("%s accepted minsup 0", m.Name())
+		}
+	}
+}
+
+func TestMinersEmptyInput(t *testing.T) {
+	for _, m := range allMiners {
+		res, err := m.Mine(nil, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(res.All) != 0 || len(res.Maximal) != 0 {
+			t.Errorf("%s: empty input produced sets", m.Name())
+		}
+	}
+}
+
+func TestMinersNothingFrequent(t *testing.T) {
+	// All-distinct transactions, minsup 2: nothing is frequent.
+	r := stats.NewRand(5)
+	txs := make([]itemset.Transaction, 50)
+	for i := range txs {
+		rec := flow.Record{
+			SrcAddr: uint32(i), DstAddr: uint32(1000 + i),
+			SrcPort: uint16(i), DstPort: uint16(2000 + i),
+			Protocol: uint8(i % 250), Packets: uint32(10000 + i), Bytes: uint64(90000 + i),
+		}
+		_ = r
+		txs[i] = itemset.FromFlow(&rec)
+	}
+	for _, m := range allMiners {
+		res, err := m.Mine(txs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.All) != 0 {
+			t.Errorf("%s found %d sets in all-distinct input", m.Name(), len(res.All))
+		}
+	}
+}
+
+func TestMinersKnownExample(t *testing.T) {
+	// 10 identical flows + 5 sharing only the port: the full 7-item-set
+	// of the identical flows is frequent and maximal at minsup 8.
+	rec := flow.Record{SrcAddr: 1, DstAddr: 2, SrcPort: 3, DstPort: 4, Protocol: 6, Packets: 5, Bytes: 200}
+	var txs []itemset.Transaction
+	for i := 0; i < 10; i++ {
+		txs = append(txs, itemset.FromFlow(&rec))
+	}
+	for i := 0; i < 5; i++ {
+		other := flow.Record{SrcAddr: uint32(100 + i), DstAddr: uint32(200 + i), SrcPort: uint16(i), DstPort: 4, Protocol: 6, Packets: uint32(20 + i), Bytes: uint64(1000 + i)}
+		txs = append(txs, itemset.FromFlow(&other))
+	}
+	for _, m := range allMiners {
+		res, err := m.Mine(txs, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Maximal) != 1 {
+			t.Fatalf("%s: maximal = %v, want the single 7-item-set", m.Name(), res.Maximal)
+		}
+		if res.Maximal[0].Size() != flow.NumFeatures || res.Maximal[0].Support != 10 {
+			t.Errorf("%s: got %v", m.Name(), res.Maximal[0])
+		}
+		// At minsup 8 the pair {dstPort=4, proto=6} has support 15; it
+		// is subsumed by the 7-item-set only when... it is NOT: support
+		// 15 > 10, but maximality ignores support. Check it is pruned.
+		for i := range res.Maximal {
+			if res.Maximal[i].Size() == 2 {
+				t.Errorf("%s: 2-item-set should be subsumed: %v", m.Name(), res.Maximal[i])
+			}
+		}
+	}
+}
+
+func TestWindowMatchesBatchEclat(t *testing.T) {
+	txs := randomTxs(21, 500)
+	const capacity = 200
+	w := eclat.NewWindow(capacity)
+	for _, tx := range txs {
+		w.Push(tx)
+	}
+	if w.Len() != capacity {
+		t.Fatalf("window length %d, want %d", w.Len(), capacity)
+	}
+	got, err := w.Mine(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eclat.New().Mine(txs[len(txs)-capacity:], 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mining.Equal(got, want) {
+		t.Errorf("window mining (%d sets) != batch mining of suffix (%d sets)",
+			len(got.All), len(want.All))
+	}
+}
+
+func TestWindowPartialFill(t *testing.T) {
+	txs := randomTxs(22, 50)
+	w := eclat.NewWindow(100)
+	for _, tx := range txs {
+		w.Push(tx)
+	}
+	if w.Len() != 50 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	got, err := w.Mine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := eclat.New().Mine(txs, 10)
+	if !mining.Equal(got, want) {
+		t.Error("partially filled window disagrees with batch")
+	}
+}
+
+func TestWindowSlidesOldDataOut(t *testing.T) {
+	// Fill with port-7777 flows, then push enough other flows to evict
+	// them all; port 7777 must vanish from the result.
+	w := eclat.NewWindow(100)
+	anomalous := itemset.FromFlow(&flow.Record{DstPort: 7777, Protocol: 6, Packets: 1, Bytes: 40})
+	for i := 0; i < 100; i++ {
+		w.Push(anomalous)
+	}
+	res, _ := w.Mine(50)
+	if len(res.All) == 0 {
+		t.Fatal("full window of identical flows must be frequent")
+	}
+	benign := itemset.FromFlow(&flow.Record{DstPort: 80, Protocol: 6, Packets: 2, Bytes: 99})
+	for i := 0; i < 100; i++ {
+		w.Push(benign)
+	}
+	res, _ = w.Mine(50)
+	for i := range res.All {
+		for _, it := range res.All[i].Items {
+			if it.Kind == flow.DstPort && it.Value == 7777 {
+				t.Fatal("evicted flows still frequent")
+			}
+		}
+	}
+}
+
+func TestWindowCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	eclat.NewWindow(0)
+}
+
+func TestWindowCompactionKeepsResults(t *testing.T) {
+	// Push far beyond capacity to force repeated compaction, then
+	// verify agreement with batch mining of the suffix.
+	txs := randomTxs(23, 2000)
+	const capacity = 150
+	w := eclat.NewWindow(capacity)
+	for _, tx := range txs {
+		w.Push(tx)
+	}
+	got, err := w.Mine(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := eclat.New().Mine(txs[len(txs)-capacity:], 20)
+	if !mining.Equal(got, want) {
+		t.Error("compacted window disagrees with batch suffix")
+	}
+}

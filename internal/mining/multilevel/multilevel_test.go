@@ -1,0 +1,145 @@
+package multilevel
+
+import (
+	"testing"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining/apriori"
+	"anomalyx/internal/stats"
+)
+
+// scanTxs builds a distributed scan: one source sweeping distinct
+// addresses inside 10.1.2.0/24 on port 445, plus diffuse background.
+func scanTxs(n int) []itemset.Transaction {
+	r := stats.NewRand(1)
+	var txs []itemset.Transaction
+	base := flow.MustParseU32("10.1.2.0")
+	for i := 0; i < n; i++ {
+		rec := flow.Record{
+			SrcAddr: flow.MustParseU32("203.0.113.7"),
+			DstAddr: base + uint32(i%256),
+			SrcPort: uint16(1024 + r.IntN(60000)), DstPort: 445,
+			Protocol: 6, Packets: 1, Bytes: 48,
+		}
+		txs = append(txs, itemset.FromFlow(&rec))
+	}
+	for i := 0; i < n; i++ {
+		rec := flow.Record{
+			SrcAddr: uint32(r.IntN(1 << 30)), DstAddr: uint32(r.IntN(1 << 30)),
+			SrcPort: uint16(r.IntN(60000)), DstPort: uint16(r.IntN(60000)),
+			Protocol: 6, Packets: uint32(1 + r.IntN(50)), Bytes: uint64(100 + r.IntN(9000)),
+		}
+		txs = append(txs, itemset.FromFlow(&rec))
+	}
+	return txs
+}
+
+func TestGeneralizeMasksAddresses(t *testing.T) {
+	rec := flow.Record{
+		SrcAddr: flow.MustParseU32("192.168.34.56"),
+		DstAddr: flow.MustParseU32("10.1.2.3"),
+		DstPort: 80,
+	}
+	txs := []itemset.Transaction{itemset.FromFlow(&rec)}
+	g := Generalize(txs, Level{SrcLen: 16, DstLen: 24})
+	if g[0][flow.SrcIP] != uint64(flow.MustParseU32("192.168.0.0")) {
+		t.Errorf("srcIP = %v", flow.U32ToAddr(uint32(g[0][flow.SrcIP])))
+	}
+	if g[0][flow.DstIP] != uint64(flow.MustParseU32("10.1.2.0")) {
+		t.Errorf("dstIP = %v", flow.U32ToAddr(uint32(g[0][flow.DstIP])))
+	}
+	if g[0][flow.DstPort] != 80 {
+		t.Error("non-address feature modified")
+	}
+	// Input untouched.
+	if txs[0][flow.SrcIP] != uint64(flow.MustParseU32("192.168.34.56")) {
+		t.Error("Generalize mutated its input")
+	}
+}
+
+func TestScanInvisibleAt32VisibleAt24(t *testing.T) {
+	txs := scanTxs(2000)
+	minsup := 900 // each /32 target sees ~2000/256 ≈ 8 flows
+
+	m := New(apriori.New(), nil)
+	results, err := m.Mine(txs, minsup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DefaultLevels) {
+		t.Fatalf("levels = %d", len(results))
+	}
+
+	hasDstNet := func(res []itemset.Set, want uint32) bool {
+		for i := range res {
+			for _, it := range res[i].Items {
+				if it.Kind == flow.DstIP && it.Value == uint64(want) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Level /32: no dstIP item is frequent.
+	for i := range results[0].Result.All {
+		for _, it := range results[0].Result.All[i].Items {
+			if it.Kind == flow.DstIP {
+				t.Fatalf("unexpected frequent dstIP at /32: %v", results[0].Result.All[i])
+			}
+		}
+	}
+	// Level /24: the scanned range is frequent.
+	if !hasDstNet(results[1].Result.All, flow.MustParseU32("10.1.2.0")) {
+		t.Error("scanned /24 not frequent at level /24")
+	}
+	// And it combines with the scan port into a multi-item set.
+	found := false
+	for i := range results[1].Result.Maximal {
+		s := &results[1].Result.Maximal[i]
+		hasNet, hasPort := false, false
+		for _, it := range s.Items {
+			if it.Kind == flow.DstIP && it.Value == uint64(flow.MustParseU32("10.1.2.0")) {
+				hasNet = true
+			}
+			if it.Kind == flow.DstPort && it.Value == 445 {
+				hasPort = true
+			}
+		}
+		if hasNet && hasPort {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no {dstNet, dstPort=445} item-set at /24: %v", results[1].Result.Maximal)
+	}
+}
+
+func TestMineValidatesInput(t *testing.T) {
+	m := New(apriori.New(), nil)
+	if _, err := m.Mine(nil, 0); err == nil {
+		t.Error("minsup 0 accepted")
+	}
+}
+
+func TestFormatItem(t *testing.T) {
+	l := Level{SrcLen: 32, DstLen: 24}
+	dst := itemset.Item{Kind: flow.DstIP, Value: uint64(flow.MustParseU32("10.1.2.0"))}
+	if got := FormatItem(dst, l); got != "dstIP=10.1.2.0/24" {
+		t.Errorf("FormatItem = %q", got)
+	}
+	src := itemset.Item{Kind: flow.SrcIP, Value: uint64(flow.MustParseU32("1.2.3.4"))}
+	if got := FormatItem(src, l); got != "srcIP=1.2.3.4" {
+		t.Errorf("ungeneralized src = %q", got)
+	}
+	port := itemset.Item{Kind: flow.DstPort, Value: 80}
+	if got := FormatItem(port, l); got != "dstPort=80" {
+		t.Errorf("port = %q", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if (Level{32, 24}).String() != "src/32 dst/24" {
+		t.Error("level string")
+	}
+}

@@ -1,0 +1,190 @@
+// Package topk implements top-k frequent item-set mining — the §II-E
+// operational mode ("one can keep only the top item-sets according to
+// the frequency ranking ... the top 10 or 20 as desired") and a §V
+// extension ("mining top-k item-sets"). Instead of guessing a minimum
+// support by trial and error, the operator asks for the k most frequent
+// item-sets; the miner raises its support threshold dynamically as
+// better candidates accumulate, pruning the search the same way a
+// well-chosen support would.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+
+	"anomalyx/internal/itemset"
+)
+
+// Options tune the search.
+type Options struct {
+	// MinSize ignores item-sets smaller than this (size-1 item-sets are
+	// usually uninformative for extraction; the default keeps all).
+	MinSize int
+	// Floor is the initial support threshold (default 2: singletons
+	// never dominate the budget).
+	Floor int
+}
+
+// Result holds the k highest-support item-sets in canonical report
+// order, plus the support threshold the search converged to.
+type Result struct {
+	Sets []itemset.Set
+	// FinalSupport is the dynamic threshold at termination: the support
+	// of the k-th best set (or the floor when fewer than k exist).
+	FinalSupport int
+}
+
+// Mine returns the k most frequent item-sets of txs. It runs an
+// Eclat-style vertical search whose support threshold rises to the
+// current k-th best support, so the search space shrinks as results
+// accumulate.
+func Mine(txs []itemset.Transaction, k int, opts Options) *Result {
+	if k <= 0 {
+		return &Result{FinalSupport: opts.Floor}
+	}
+	if opts.Floor < 1 {
+		opts.Floor = 2
+	}
+
+	lists := make(map[itemset.Item][]int32)
+	for i := range txs {
+		for _, it := range txs[i].Items() {
+			lists[it] = append(lists[it], int32(i))
+		}
+	}
+
+	h := &setHeap{}
+	heap.Init(h)
+	threshold := opts.Floor
+	push := func(s itemset.Set) {
+		if s.Size() < opts.MinSize {
+			return
+		}
+		if h.Len() < k {
+			heap.Push(h, s)
+		} else if s.Support > (*h)[0].Support {
+			(*h)[0] = s
+			heap.Fix(h, 0)
+		}
+		if h.Len() == k && (*h)[0].Support+1 > threshold {
+			threshold = (*h)[0].Support + 1
+		}
+	}
+
+	type vert struct {
+		item itemset.Item
+		tids []int32
+	}
+	var roots []vert
+	for it, tids := range lists {
+		if len(tids) >= opts.Floor {
+			roots = append(roots, vert{item: it, tids: tids})
+		}
+	}
+	// Visit the most frequent roots first so the threshold rises early.
+	sort.Slice(roots, func(i, j int) bool {
+		if len(roots[i].tids) != len(roots[j].tids) {
+			return len(roots[i].tids) > len(roots[j].tids)
+		}
+		return roots[i].item.Less(roots[j].item)
+	})
+
+	// Every item-set is pushed when it is *created* (roots below, larger
+	// sets inside the pair loop) rather than when the recursion visits
+	// it, so the heap fills — and the threshold rises — during the very
+	// first sweep. dfs assumes ext is sorted by descending tid count, so
+	// both loops stop outright at the first entry below the threshold.
+	for i := range roots {
+		push(itemset.NewSet([]itemset.Item{roots[i].item}, len(roots[i].tids)))
+	}
+	var dfs func(prefix []itemset.Item, ext []vert)
+	dfs = func(prefix []itemset.Item, ext []vert) {
+		for i := range ext {
+			if len(ext[i].tids) < threshold && h.Len() == k {
+				break // sorted: every later entry is at most as frequent
+			}
+			withItem := append(prefix, ext[i].item)
+
+			var next []vert
+			for j := i + 1; j < len(ext); j++ {
+				// Upper bound: an intersection cannot beat the shorter
+				// list, and ext is sorted by descending tid count.
+				if h.Len() == k && len(ext[j].tids) < threshold {
+					break
+				}
+				if ext[j].item.Kind == ext[i].item.Kind {
+					continue
+				}
+				tids := intersect(ext[i].tids, ext[j].tids)
+				if len(tids) < opts.Floor {
+					continue
+				}
+				push(itemset.NewSet(append(withItem, ext[j].item), len(tids)))
+				// Anti-monotonicity: once the top-k heap is full, any
+				// extension below the risen threshold can neither enter
+				// the result nor produce descendants that could.
+				eff := opts.Floor
+				if h.Len() == k && threshold > eff {
+					eff = threshold
+				}
+				if len(tids) >= eff {
+					next = append(next, vert{item: ext[j].item, tids: tids})
+				}
+			}
+			if len(next) > 0 {
+				sort.Slice(next, func(a, b int) bool {
+					if len(next[a].tids) != len(next[b].tids) {
+						return len(next[a].tids) > len(next[b].tids)
+					}
+					return next[a].item.Less(next[b].item)
+				})
+				dfs(withItem, next)
+			}
+		}
+	}
+	dfs(nil, roots)
+
+	out := &Result{FinalSupport: threshold}
+	out.Sets = make([]itemset.Set, h.Len())
+	for i := h.Len() - 1; i >= 0; i-- {
+		out.Sets[i] = heap.Pop(h).(itemset.Set)
+	}
+	itemset.SortSets(out.Sets)
+	return out
+}
+
+// setHeap is a min-heap by support (worst of the current top-k on top).
+type setHeap []itemset.Set
+
+func (h setHeap) Len() int           { return len(h) }
+func (h setHeap) Less(i, j int) bool { return h[i].Support < h[j].Support }
+func (h setHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *setHeap) Push(x any)        { *h = append(*h, x.(itemset.Set)) }
+func (h *setHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func intersect(a, b []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]int32, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package topk
+
+import (
+	"testing"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining/eclat"
+	"anomalyx/internal/stats"
+)
+
+func randomTxs(seed uint64, n int) []itemset.Transaction {
+	r := stats.NewRand(seed)
+	txs := make([]itemset.Transaction, n)
+	for i := range txs {
+		rec := flow.Record{
+			SrcAddr: uint32(r.IntN(5)), DstAddr: uint32(r.IntN(4)),
+			SrcPort: uint16(r.IntN(6)), DstPort: uint16(r.IntN(3)),
+			Protocol: uint8(6 + 11*r.IntN(2)),
+			Packets:  uint32(1 + r.IntN(3)), Bytes: uint64(40 * (1 + r.IntN(2))),
+		}
+		txs[i] = itemset.FromFlow(&rec)
+	}
+	return txs
+}
+
+// TestMatchesExhaustiveRanking: the top-k result must equal the k best of
+// a full Eclat run at the floor support.
+func TestMatchesExhaustiveRanking(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		txs := randomTxs(seed, 300)
+		for _, k := range []int{1, 5, 20, 100} {
+			got := Mine(txs, k, Options{})
+			full, err := eclat.New().Mine(txs, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full.All
+			if k < len(want) {
+				want = want[:k]
+			}
+			if len(got.Sets) != len(want) {
+				t.Fatalf("seed %d k=%d: got %d sets, want %d", seed, k, len(got.Sets), len(want))
+			}
+			// Supports must match position-wise (set identity can differ
+			// on ties).
+			for i := range want {
+				if got.Sets[i].Support != want[i].Support {
+					t.Errorf("seed %d k=%d pos %d: support %d, want %d",
+						seed, k, i, got.Sets[i].Support, want[i].Support)
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdRises(t *testing.T) {
+	txs := randomTxs(7, 500)
+	res := Mine(txs, 5, Options{})
+	if res.FinalSupport <= 2 {
+		t.Errorf("threshold did not rise: %d", res.FinalSupport)
+	}
+	// The 5th best support must be >= threshold-1.
+	if len(res.Sets) == 5 && res.Sets[4].Support < res.FinalSupport-1 {
+		t.Errorf("kth support %d vs threshold %d", res.Sets[4].Support, res.FinalSupport)
+	}
+}
+
+func TestMinSizeFilter(t *testing.T) {
+	txs := randomTxs(9, 300)
+	res := Mine(txs, 10, Options{MinSize: 2})
+	if len(res.Sets) == 0 {
+		t.Fatal("no sets")
+	}
+	for i := range res.Sets {
+		if res.Sets[i].Size() < 2 {
+			t.Errorf("size-%d set passed the filter", res.Sets[i].Size())
+		}
+	}
+}
+
+func TestKZeroAndEmptyInput(t *testing.T) {
+	if res := Mine(randomTxs(1, 10), 0, Options{}); len(res.Sets) != 0 {
+		t.Error("k=0 returned sets")
+	}
+	if res := Mine(nil, 5, Options{}); len(res.Sets) != 0 {
+		t.Error("empty input returned sets")
+	}
+}
+
+func TestKLargerThanUniverse(t *testing.T) {
+	txs := randomTxs(3, 100)
+	res := Mine(txs, 100000, Options{})
+	full, _ := eclat.New().Mine(txs, 2)
+	if len(res.Sets) != len(full.All) {
+		t.Errorf("got %d sets, universe has %d", len(res.Sets), len(full.All))
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	txs := randomTxs(5, 400)
+	a := Mine(txs, 15, Options{})
+	b := Mine(txs, 15, Options{})
+	if len(a.Sets) != len(b.Sets) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.Sets {
+		if a.Sets[i].String() != b.Sets[i].String() {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a.Sets[i], b.Sets[i])
+		}
+	}
+}

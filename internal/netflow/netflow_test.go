@@ -1,0 +1,247 @@
+package netflow
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"anomalyx/internal/flow"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Header: Header{
+			SysUptime: 3600000, UnixSecs: 1196640000, UnixNsecs: 250e6,
+			FlowSequence: 42, EngineType: 1, EngineID: 2, SamplingInterval: 0,
+		},
+		Records: []Record{
+			{
+				SrcAddr: 0x82380a0b, DstAddr: 0x08080808, NextHop: 0x0a000001,
+				Input: 1, Output: 2, Packets: 10, Octets: 1200,
+				First: 3590000, Last: 3599000,
+				SrcPort: 51515, DstPort: 80, TCPFlags: 0x1b, Protocol: 6,
+				Tos: 0, SrcAS: 559, DstAS: 15169, SrcMask: 24, DstMask: 16,
+			},
+			{
+				SrcAddr: 1, DstAddr: 2, Packets: 1, Octets: 40,
+				First: 3500000, Last: 3500001,
+				SrcPort: 53, DstPort: 53, Protocol: 17,
+			},
+		},
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderLen+2*RecordLen {
+		t.Fatalf("encoded length %d", len(buf))
+	}
+	q, err := DecodePacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Header.SysUptime != p.Header.SysUptime || q.Header.UnixSecs != p.Header.UnixSecs ||
+		q.Header.FlowSequence != p.Header.FlowSequence || q.Header.EngineID != p.Header.EngineID {
+		t.Errorf("header mismatch: %+v vs %+v", q.Header, p.Header)
+	}
+	if len(q.Records) != 2 {
+		t.Fatalf("record count %d", len(q.Records))
+	}
+	for i := range q.Records {
+		if q.Records[i] != p.Records[i] {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, q.Records[i], p.Records[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodePacket(make([]byte, 10)); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("short packet: %v", err)
+	}
+	p := samplePacket()
+	buf, _ := p.Encode()
+	buf[0], buf[1] = 0, 9 // version 9
+	if _, err := DecodePacket(buf); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	buf, _ = p.Encode()
+	buf[2], buf[3] = 0, 31 // count 31 > max
+	if _, err := DecodePacket(buf); !errors.Is(err, ErrBadCount) {
+		t.Errorf("bad count: %v", err)
+	}
+	buf, _ = p.Encode()
+	if _, err := DecodePacket(buf[:len(buf)-1]); !errors.Is(err, ErrBadCount) {
+		t.Errorf("truncated body: %v", err)
+	}
+}
+
+func TestEncodeValidatesCount(t *testing.T) {
+	p := &Packet{}
+	if _, err := p.Encode(); !errors.Is(err, ErrBadCount) {
+		t.Errorf("empty packet: %v", err)
+	}
+	p = samplePacket()
+	p.Header.Count = 5 // inconsistent
+	if _, err := p.Encode(); !errors.Is(err, ErrBadCount) {
+		t.Errorf("inconsistent count: %v", err)
+	}
+	p = &Packet{Records: make([]Record, MaxRecords+1)}
+	if _, err := p.Encode(); !errors.Is(err, ErrBadCount) {
+		t.Errorf("oversized packet: %v", err)
+	}
+}
+
+func TestTimestampConversion(t *testing.T) {
+	h := &Header{SysUptime: 1000000, UnixSecs: 2000, UnixNsecs: 0}
+	r := &Record{First: 999000, Last: 1000000}
+	f := RecordToFlow(h, r)
+	// boot = 2_000_000ms - 1_000_000ms = 1_000_000ms
+	if f.Start != 1999000 || f.End != 2000000 {
+		t.Errorf("Start/End = %d/%d, want 1999000/2000000", f.Start, f.End)
+	}
+}
+
+func TestFlowRecordRoundTripProperty(t *testing.T) {
+	const bootMs = int64(1700000000000)
+	f := func(src, dst uint32, sp, dp uint16, proto, flags uint8, pkts uint32, bytes uint32, startOff, durMs uint32) bool {
+		orig := flow.Record{
+			SrcAddr: src, DstAddr: dst, SrcPort: sp, DstPort: dp,
+			Protocol: proto, TCPFlags: flags, Packets: pkts, Bytes: uint64(bytes),
+			Start: bootMs + int64(startOff%2e9), End: bootMs + int64(startOff%2e9) + int64(durMs%1e6),
+		}
+		wire := FlowToRecord(bootMs, &orig)
+		h := Header{SysUptime: uint32(orig.End - bootMs), UnixSecs: uint32(orig.End / 1000), UnixNsecs: uint32(orig.End%1000) * 1e6}
+		back := RecordToFlow(&h, &wire)
+		return back == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	const bootMs = int64(1196640000000)
+	records := make([]flow.Record, 95) // crosses 3 packet boundaries + partial
+	for i := range records {
+		records[i] = flow.Record{
+			SrcAddr: uint32(i + 1), DstAddr: uint32(2*i + 1),
+			SrcPort: uint16(i), DstPort: 80, Protocol: 6,
+			Packets: uint32(i%7 + 1), Bytes: uint64(i * 100),
+			Start: bootMs + int64(i)*1000,
+			End:   bootMs + int64(i)*1000 + 500,
+		}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, bootMs)
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(records))
+	}
+	for i := range got {
+		if got[i] != records[i] {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestReaderEmptyStream(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	p := samplePacket()
+	buf, _ := p.Encode()
+	r := NewReader(bytes.NewReader(buf[:len(buf)-5]))
+	_, err := r.Next()
+	if err == nil || err == io.EOF {
+		t.Errorf("truncated stream should error, got %v", err)
+	}
+	// Error must be sticky.
+	if _, err2 := r.Next(); err2 != err {
+		t.Errorf("error not sticky: %v vs %v", err2, err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := []flow.Record{
+		{
+			SrcAddr: flow.MustParseU32("130.59.10.11"), DstAddr: flow.MustParseU32("8.8.8.8"),
+			SrcPort: 51515, DstPort: 80, Protocol: 6, TCPFlags: 0x1b,
+			Packets: 10, Bytes: 1200, Start: 1196640000000, End: 1196640001000,
+		},
+		{
+			SrcAddr: 1, DstAddr: 2, SrcPort: 53, DstPort: 53, Protocol: 17,
+			Packets: 1, Bytes: 40, Start: 5, End: 6,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range got {
+		if got[i] != records[i] {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestCSVBadInput(t *testing.T) {
+	_, err := ReadCSV(bytes.NewBufferString("start_ms,end_ms,src_ip,dst_ip,src_port,dst_port,proto,tcp_flags,packets,bytes\nx,0,1.2.3.4,5.6.7.8,1,2,6,0,1,40\n"))
+	if err == nil {
+		t.Error("bad start_ms should error")
+	}
+	_, err = ReadCSV(bytes.NewBufferString("0,0,notanip,5.6.7.8,1,2,6,0,1,40\n"))
+	if err == nil {
+		t.Error("bad IP should error")
+	}
+}
+
+func TestV5DecodeDoesNotPanicOnGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodePacket(raw) // must not panic, any error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderGarbageStream(t *testing.T) {
+	// A stream of plausible-looking but corrupt packets must error out,
+	// not loop or panic.
+	raw := make([]byte, 500)
+	raw[1] = 5  // version 5
+	raw[3] = 30 // count 30 -> needs 24+1440 bytes, stream has 500
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("corrupt stream: %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+package netflow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"anomalyx/internal/flow"
+)
+
+// A trace file is a stream of concatenated NetFlow v5 export packets —
+// exactly the byte stream a collector writes when it dumps the UDP export
+// payloads of a router back to back. Reader and Writer below stream
+// flow.Records out of and into that container without buffering whole
+// intervals in memory, which is what lets the two-week experiments run in
+// constant space.
+
+// Reader streams flow records from a concatenated-v5-packet stream.
+type Reader struct {
+	br   *bufio.Reader
+	buf  []byte
+	pkt  *Packet
+	next int // next record index within pkt
+	err  error
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{
+		br:  bufio.NewReaderSize(r, 64<<10),
+		buf: make([]byte, MaxPacketLen),
+	}
+}
+
+// Next returns the next flow record. It returns io.EOF at a clean end of
+// stream and a descriptive error on truncation or corruption.
+func (r *Reader) Next() (flow.Record, error) {
+	if r.err != nil {
+		return flow.Record{}, r.err
+	}
+	for r.pkt == nil || r.next >= len(r.pkt.Records) {
+		if err := r.readPacket(); err != nil {
+			r.err = err
+			return flow.Record{}, err
+		}
+	}
+	rec := RecordToFlow(&r.pkt.Header, &r.pkt.Records[r.next])
+	r.next++
+	return rec, nil
+}
+
+// ReadAll drains the stream into a slice. Intended for tests and small
+// traces; experiments stream with Next.
+func (r *Reader) ReadAll() ([]flow.Record, error) {
+	var out []flow.Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func (r *Reader) readPacket() error {
+	hdr := r.buf[:HeaderLen]
+	if _, err := io.ReadFull(r.br, hdr); err != nil {
+		if err == io.EOF {
+			return io.EOF // clean boundary
+		}
+		return fmt.Errorf("netflow: truncated header: %w", err)
+	}
+	count := int(uint16(hdr[2])<<8 | uint16(hdr[3]))
+	if count < 1 || count > MaxRecords {
+		return fmt.Errorf("%w: count %d", ErrBadCount, count)
+	}
+	body := r.buf[HeaderLen : HeaderLen+count*RecordLen]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return fmt.Errorf("netflow: truncated packet body: %w", err)
+	}
+	pkt, err := DecodePacket(r.buf[:HeaderLen+count*RecordLen])
+	if err != nil {
+		return err
+	}
+	r.pkt = pkt
+	r.next = 0
+	return nil
+}
+
+// Writer batches flow records into maximally filled v5 export packets and
+// writes them to the underlying stream.
+type Writer struct {
+	bw      *bufio.Writer
+	bootMs  int64 // simulated device boot time, wall clock ms
+	seq     uint32
+	pending []flow.Record
+	scratch []byte
+}
+
+// NewWriter returns a Writer whose simulated export device booted at
+// bootMs (milliseconds since the Unix epoch). Flow timestamps must be
+// >= bootMs and within uint32 milliseconds of it, mirroring the real
+// uptime-relative encoding.
+func NewWriter(w io.Writer, bootMs int64) *Writer {
+	return &Writer{
+		bw:      bufio.NewWriterSize(w, 64<<10),
+		bootMs:  bootMs,
+		pending: make([]flow.Record, 0, MaxRecords),
+		scratch: make([]byte, 0, MaxPacketLen),
+	}
+}
+
+// Write queues one flow record, flushing a full packet when 30 are
+// pending.
+func (w *Writer) Write(f flow.Record) error {
+	w.pending = append(w.pending, f)
+	if len(w.pending) == MaxRecords {
+		return w.flushPacket()
+	}
+	return nil
+}
+
+// Flush writes any partially filled packet and flushes the buffered
+// writer. Call it exactly once, after the last Write.
+func (w *Writer) Flush() error {
+	if len(w.pending) > 0 {
+		if err := w.flushPacket(); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}
+
+func (w *Writer) flushPacket() error {
+	// Stamp the header with the latest flow end as the export time, the
+	// way a real exporter emits a packet after its newest flow expired.
+	var latest int64 = w.bootMs
+	for i := range w.pending {
+		if w.pending[i].End > latest {
+			latest = w.pending[i].End
+		}
+	}
+	pkt := Packet{
+		Header: Header{
+			SysUptime:    uint32(latest - w.bootMs),
+			UnixSecs:     uint32(latest / 1000),
+			UnixNsecs:    uint32(latest%1000) * 1e6,
+			FlowSequence: w.seq,
+		},
+		Records: make([]Record, len(w.pending)),
+	}
+	for i := range w.pending {
+		pkt.Records[i] = FlowToRecord(w.bootMs, &w.pending[i])
+	}
+	w.seq += uint32(len(w.pending))
+	w.pending = w.pending[:0]
+
+	buf, err := pkt.AppendEncode(w.scratch[:0])
+	if err != nil {
+		return err
+	}
+	_, err = w.bw.Write(buf)
+	return err
+}

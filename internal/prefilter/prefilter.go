@@ -1,0 +1,69 @@
+// Package prefilter selects the suspicious-flow set from alarm meta-data
+// (§II-A). The paper's key design decision is to keep every flow matching
+// *any* meta-data value (the union) rather than flows matching all values
+// (the intersection): multistage anomalies such as the Sasser worm have
+// flow-disjoint meta-data, for which the intersection is empty while the
+// union covers every stage. Both strategies are provided; Intersection
+// exists as the DoWitcher-style comparison baseline (§IV).
+package prefilter
+
+import (
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+)
+
+// Strategy selects flows given meta-data.
+type Strategy interface {
+	// Match reports whether rec belongs to the suspicious set under m.
+	Match(m detector.MetaData, rec *flow.Record) bool
+	// Name identifies the strategy.
+	Name() string
+}
+
+// Union keeps flows matching at least one meta-data value — the paper's
+// choice.
+type Union struct{}
+
+// Match implements Strategy.
+func (Union) Match(m detector.MetaData, rec *flow.Record) bool {
+	return m.MatchesFlow(rec)
+}
+
+// Name implements Strategy.
+func (Union) Name() string { return "union" }
+
+// Intersection keeps flows matching a meta-data value in every annotated
+// feature — the baseline the paper shows can miss anomalies entirely.
+type Intersection struct{}
+
+// Match implements Strategy.
+func (Intersection) Match(m detector.MetaData, rec *flow.Record) bool {
+	return m.MatchesFlowAll(rec)
+}
+
+// Name implements Strategy.
+func (Intersection) Name() string { return "intersection" }
+
+// Filter returns the flows of recs selected by strategy s under
+// meta-data m, preserving input order.
+func Filter(s Strategy, m detector.MetaData, recs []flow.Record) []flow.Record {
+	var out []flow.Record
+	for i := range recs {
+		if s.Match(m, &recs[i]) {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}
+
+// Count returns how many flows of recs strategy s selects, without
+// materializing them.
+func Count(s Strategy, m detector.MetaData, recs []flow.Record) int {
+	n := 0
+	for i := range recs {
+		if s.Match(m, &recs[i]) {
+			n++
+		}
+	}
+	return n
+}

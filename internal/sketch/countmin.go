@@ -1,0 +1,106 @@
+// Package sketch implements a count-min sketch. Footnote 1 of the paper
+// distinguishes histogram cloning from sketch data structures: sketches
+// summarize a stream compactly to answer point queries, whereas cloning
+// randomly bins histograms without targeting summarization. The sketch
+// here backs the cloning-vs-sketch ablation (DESIGN.md §5): both use
+// random projections, but the sketch answers "how many flows carried
+// value v" while the clones answer "which values disrupted the
+// distribution".
+package sketch
+
+import (
+	"math"
+
+	"anomalyx/internal/hash"
+)
+
+// CountMin is a count-min sketch with d rows of w counters.
+type CountMin struct {
+	w, d  int
+	rows  [][]uint64
+	fns   []hash.Func
+	total uint64
+}
+
+// New creates a sketch with the given width (counters per row) and depth
+// (rows, i.e. independent hash functions). Standard guarantees: a point
+// estimate exceeds the true count by more than 2N/w with probability at
+// most (1/2)^d.
+func New(width, depth int, seed uint64) *CountMin {
+	if width <= 0 || depth <= 0 {
+		panic("sketch: width and depth must be positive")
+	}
+	cm := &CountMin{w: width, d: depth}
+	for i := 0; i < depth; i++ {
+		cm.rows = append(cm.rows, make([]uint64, width))
+		cm.fns = append(cm.fns, hash.New(seed^uint64(i)*0x9e3779b97f4a7c15))
+	}
+	return cm
+}
+
+// NewForError sizes a sketch for additive error at most eps*N with
+// probability at least 1-delta: w = ceil(e/eps), d = ceil(ln(1/delta)).
+func NewForError(eps, delta float64, seed uint64) *CountMin {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("sketch: eps and delta must be in (0,1)")
+	}
+	w := int(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	return New(w, d, seed)
+}
+
+// Width returns counters per row; Depth the number of rows.
+func (cm *CountMin) Width() int { return cm.w }
+
+// Depth returns the number of rows.
+func (cm *CountMin) Depth() int { return cm.d }
+
+// Total returns the number of observations added.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Add records n observations of value v.
+func (cm *CountMin) Add(v uint64, n uint64) {
+	for i, fn := range cm.fns {
+		cm.rows[i][fn.Bin(v, cm.w)] += n
+	}
+	cm.total += n
+}
+
+// Estimate returns the point estimate for value v: the minimum counter
+// across rows. It never underestimates the true count.
+func (cm *CountMin) Estimate(v uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for i, fn := range cm.fns {
+		if c := cm.rows[i][fn.Bin(v, cm.w)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// HeavyCandidates filters candidates to those whose estimate reaches
+// threshold — the sketch-side analogue of meta-data identification, used
+// by the cloning-vs-sketch ablation. Unlike histogram cloning, the sketch
+// cannot enumerate values: the candidate list must come from elsewhere.
+func (cm *CountMin) HeavyCandidates(candidates []uint64, threshold uint64) []uint64 {
+	var out []uint64
+	for _, v := range candidates {
+		if cm.Estimate(v) >= threshold {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Reset zeroes the sketch.
+func (cm *CountMin) Reset() {
+	for _, row := range cm.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	cm.total = 0
+}

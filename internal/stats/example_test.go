@@ -1,0 +1,36 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"anomalyx/internal/stats"
+)
+
+// The voting bounds of §II-D: with n=3 clones, l=3 votes, and per-clone
+// detection probability p=0.97, an anomalous feature value is missed
+// with probability at most beta, while a normal value colliding on b=1
+// of k=1024 anomalous bins survives voting with probability gamma.
+func Example() {
+	beta := stats.VoteMissUB(3, 3, 0.97)
+	gamma := stats.NormalLeak(3, 3, 1, 1024)
+	fmt.Printf("beta  <= %.4f\n", beta)
+	fmt.Printf("gamma  = %.2e\n", gamma)
+	// Output:
+	// beta  <= 0.0873
+	// gamma  = 9.31e-10
+}
+
+// RobustSigma estimates a standard deviation via the median absolute
+// deviation — insensitive to the anomaly spikes that pollute the KL
+// first-difference history.
+func ExampleRobustSigma() {
+	clean := []float64{-1, 0.5, 0, -0.5, 1, 0.2, -0.3, 0.8, -0.7, 0.1}
+	spiked := append(append([]float64{}, clean...), 500) // one anomaly
+	fmt.Printf("clean:  %.3f\n", stats.RobustSigma(clean))
+	fmt.Printf("spiked: %.3f\n", stats.RobustSigma(spiked))
+	// The spike barely moves the estimate (it would explode a plain
+	// standard deviation to ~150).
+	// Output:
+	// clean:  0.741
+	// spiked: 0.890
+}

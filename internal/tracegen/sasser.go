@@ -1,0 +1,125 @@
+package tracegen
+
+import (
+	"anomalyx/internal/flow"
+	"anomalyx/internal/stats"
+)
+
+// SasserScenario models the multistage worm propagation of §II-A, the
+// paper's argument for taking the union rather than the intersection of
+// detector meta-data. Sasser propagates in three stages with pairwise
+// flow-disjoint footprints:
+//
+//	stage 1: SYN scans of dstPort 445 looking for vulnerable hosts;
+//	stage 2: connections to the backdoor on dstPort 9996;
+//	stage 3: download of the ~16 kB worm executable (FTP port 5554).
+//
+// A detector bank annotates the alarm with meta-data for the SYN scans,
+// for port 9996, and for the characteristic flow size. No single flow
+// matches all three meta-data items, so the intersection of matching
+// flows is empty while the union covers all stages.
+type SasserData struct {
+	Flows []flow.Record
+
+	// Meta groups the alarm meta-data by stage: scans, backdoor, and
+	// download, in that order. StageFlows counts injected flows per stage.
+	Meta       [3][]FeatureValue
+	StageFlows [3]int
+
+	WormSource uint32
+}
+
+// Sasser stage parameters.
+const (
+	SasserScanPort     = 445
+	SasserBackdoorPort = 9996
+	SasserFTPPort      = 5554
+	SasserWormBytes    = 16384
+)
+
+// SasserScenario builds one interval that mixes benignFlows of background
+// traffic with a three-stage Sasser outbreak.
+func SasserScenario(seed uint64, benignFlows int) *SasserData {
+	cfg := Config{
+		Seed:         seed,
+		IntervalLen:  DefaultConfig().IntervalLen,
+		Intervals:    1,
+		BaseFlows:    benignFlows,
+		InternalBase: flow.MustParseU32("130.56.0.0"),
+		InternalSize: 1 << 21,
+		StartTime:    DefaultConfig().StartTime,
+	}
+	g := New(cfg)
+	d := &SasserData{Flows: g.Interval(0)}
+
+	r := stats.NewRand(seed ^ 0x5a55e2)
+	d.WormSource = externalAddr(r)
+	internal := func() uint32 { return cfg.InternalBase + r.Uint32N(cfg.InternalSize) }
+	startMs := cfg.IntervalStart(0)
+	endMs := startMs + cfg.IntervalLen.Milliseconds()
+	stamp := func(rec *flow.Record) {
+		rec.Start = startMs + int64(r.Float64()*float64(endMs-startMs))
+		rec.End = rec.Start + int64(r.IntN(5000))
+		if rec.End >= endMs {
+			rec.End = endMs - 1
+		}
+	}
+
+	// Stage 1: SYN scans of port 445. Many single-packet probes.
+	nScan := benignFlows / 2
+	if nScan < 1000 {
+		nScan = 1000
+	}
+	victims := make([]uint32, 0, nScan/20)
+	for i := 0; i < nScan; i++ {
+		dst := internal()
+		if i%20 == 0 {
+			victims = append(victims, dst) // every 20th probe finds a host
+		}
+		rec := flow.Record{
+			SrcAddr: d.WormSource, DstAddr: dst,
+			SrcPort: ephemeralPort(r), DstPort: SasserScanPort,
+			Protocol: flow.ProtoTCP, TCPFlags: flow.FlagSYN,
+			Packets: 1, Bytes: 48,
+		}
+		stamp(&rec)
+		d.Flows = append(d.Flows, rec)
+	}
+	d.StageFlows[0] = nScan
+
+	// Stage 2: backdoor connections to port 9996 on the responsive hosts.
+	nBack := len(victims) * 4
+	for i := 0; i < nBack; i++ {
+		rec := flow.Record{
+			SrcAddr: d.WormSource, DstAddr: victims[r.IntN(len(victims))],
+			SrcPort: ephemeralPort(r), DstPort: SasserBackdoorPort,
+			Protocol: flow.ProtoTCP, TCPFlags: flow.FlagSYN | flow.FlagACK | flow.FlagPSH,
+			Packets: uint32(4 + r.IntN(6)), Bytes: uint64(200 + r.IntN(400)),
+		}
+		stamp(&rec)
+		d.Flows = append(d.Flows, rec)
+	}
+	d.StageFlows[1] = nBack
+
+	// Stage 3: the victims download the 16 kB executable from the worm
+	// source's FTP server — note these flows originate at the *victims*.
+	nDown := len(victims)
+	for i := 0; i < nDown; i++ {
+		rec := flow.Record{
+			SrcAddr: victims[i], DstAddr: d.WormSource,
+			SrcPort: ephemeralPort(r), DstPort: SasserFTPPort,
+			Protocol: flow.ProtoTCP, TCPFlags: flow.FlagSYN | flow.FlagACK | flow.FlagPSH | flow.FlagFIN,
+			Packets: 14, Bytes: SasserWormBytes,
+		}
+		stamp(&rec)
+		d.Flows = append(d.Flows, rec)
+	}
+	d.StageFlows[2] = nDown
+
+	d.Meta = [3][]FeatureValue{
+		{{flow.DstPort, SasserScanPort}},
+		{{flow.DstPort, SasserBackdoorPort}},
+		{{flow.Bytes, SasserWormBytes}},
+	}
+	return d
+}

@@ -1,0 +1,145 @@
+package tracegen
+
+// Schedule builds the ground-truth anomaly schedule modeled on the paper's
+// Table IV: 36 events in 31 anomalous intervals over the trace, spread
+// across the seven classes. Flow volumes are expressed relative to
+// baseFlows (the benign flows per interval) so that the schedule scales
+// with the configured trace size.
+//
+// Structure mirrors the paper's observations:
+//   - one backscatter event spans three consecutive intervals (§II-B: the
+//     backscatter anomaly "was flagged by the detector in an earlier
+//     interval where it had started");
+//   - one flooding event spans two intervals;
+//   - several intervals contain two simultaneous events (36 events fit in
+//     31 intervals).
+func Schedule(intervals, baseFlows int) []Event {
+	slots := scheduleSlots(intervals)
+	if len(slots) == 0 {
+		return nil
+	}
+
+	frac := func(f float64, id int) int {
+		// Deterministic ±20% per-event volume variation.
+		v := f * float64(baseFlows) * (0.8 + 0.4*float64((id*37)%100)/100)
+		if v < 1 {
+			v = 1
+		}
+		return int(v)
+	}
+
+	// Per-class share of baseline volume (see DESIGN.md §3: proportional
+	// to Table IV's per-class average flow counts, scaled to our volume).
+	classFrac := map[Class]float64{
+		Flooding:          0.55,
+		Backscatter:       0.30,
+		NetworkExperiment: 0.25,
+		DDoS:              0.75,
+		Scanning:          0.40,
+		Spam:              0.28,
+		Unknown:           0.16,
+	}
+
+	var events []Event
+	id := 0
+	add := func(c Class, start, end int) {
+		events = append(events, Event{
+			ID: id, Class: c, Start: start, End: end,
+			Flows: frac(classFrac[c], id),
+		})
+		id++
+	}
+
+	if len(slots) < 31 {
+		// Compressed schedule for short traces: cycle through the
+		// classes, one single-interval event per slot.
+		order := []Class{Scanning, Flooding, Backscatter, DDoS, Spam, NetworkExperiment, Unknown}
+		for i, s := range slots {
+			add(order[i%len(order)], s, s)
+		}
+		return events
+	}
+
+	// Full Table IV schedule over 31 slots. Slots 4..6 and 20..21 are
+	// consecutive intervals (see scheduleSlots).
+	add(Backscatter, slots[4], slots[6]) // 3-interval backscatter
+	add(Flooding, slots[20], slots[21])  // 2-interval flooding
+
+	// Remaining 34 single-interval events over the 26 remaining slots;
+	// the 8 slots listed in doubles host two events each.
+	singles := make([]int, 0, 26)
+	for i, s := range slots {
+		if i == 4 || i == 5 || i == 6 || i == 20 || i == 21 {
+			continue
+		}
+		singles = append(singles, s)
+	}
+	doubles := map[int]bool{0: true, 3: true, 8: true, 12: true, 16: true, 22: true, 24: true, 25: true}
+	classSeq := []Class{
+		// 12 scanning, 4 flooding, 4 backscatter, 4 ddos, 4 spam,
+		// 3 experiments, 3 unknown — interleaved so neighbouring
+		// anomalous intervals differ in class.
+		Scanning, DDoS, Scanning, Spam, Scanning, Flooding, Backscatter,
+		Scanning, NetworkExperiment, Scanning, DDoS, Unknown, Scanning,
+		Spam, Flooding, Scanning, Backscatter, Scanning, DDoS, Spam,
+		Scanning, NetworkExperiment, Flooding, Scanning, Backscatter,
+		Unknown, Scanning, Spam, DDoS, Backscatter, Scanning, Flooding,
+		NetworkExperiment, Unknown,
+	}
+	seq := 0
+	for i, s := range singles {
+		add(classSeq[seq], s, s)
+		seq++
+		if doubles[i] {
+			add(classSeq[seq], s, s)
+			seq++
+		}
+	}
+	return events
+}
+
+// scheduleSlots returns the anomalous interval indices: up to 31 slots
+// spread over the trace, with the runs at logical slots 4..6 and 20..21
+// made consecutive to host the multi-interval events.
+func scheduleSlots(intervals int) []int {
+	if intervals <= 0 {
+		return nil
+	}
+	n := 31
+	if intervals < 4*n {
+		n = intervals / 4
+		if n == 0 && intervals > 2 {
+			n = 1
+		}
+	}
+	// Leave a warmup margin before the first event so detectors can
+	// finish MAD training (§II-C needs a handful of clean intervals).
+	warmup := 16
+	if intervals/10 < warmup {
+		warmup = intervals / 10
+	}
+	slots := make([]int, 0, n)
+	step := float64(intervals-warmup) / float64(n+1)
+	for i := 0; i < n; i++ {
+		slots = append(slots, warmup+int(step*float64(i+1)))
+	}
+	if n == 31 && step >= 3 {
+		slots[5] = slots[4] + 1
+		slots[6] = slots[4] + 2
+		slots[21] = slots[20] + 1
+	}
+	// Deduplicate and clamp defensively for tiny traces.
+	seen := map[int]bool{}
+	out := slots[:0]
+	for _, s := range slots {
+		if s >= intervals {
+			s = intervals - 1
+		}
+		if s < 0 || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package tracegen
+
+import (
+	"anomalyx/internal/flow"
+	"anomalyx/internal/stats"
+)
+
+// TableIIScenario reproduces the worked Apriori example of §II-B /
+// Table II. The paper took a 15-minute window in which destination port
+// 7000 was the only flagged feature value (53 467 candidate flows) and
+// artificially added the flows of the three most popular destination
+// ports to force false-positive item-sets:
+//
+//	dstPort 80:   252 069 flows (hosts A, B, C were heavy HTTP proxies)
+//	dstPort 9022:  22 667 flows (backscatter: random srcIP/srcPort)
+//	dstPort 25:    22 659 flows (SMTP)
+//
+// for a total input of 350 872 flows mined with minimum support 10 000.
+// The function synthesizes exactly that mix, with the flood split over
+// four compromised hosts (three above minimum support, one below) so
+// that, as in Table II, exactly three maximal item-sets carry dstPort
+// 7000.
+type TableIIData struct {
+	Flows []flow.Record
+
+	VictimE          uint32    // flooding victim (host E)
+	Proxies          [3]uint32 // hosts A, B, C
+	FloodSources     []uint32
+	FloodPort        uint16 // 7000
+	BackscatterPort  uint16 // 9022
+	MinSupport       int    // 10 000, the paper's setting
+	FlaggedMetaValue FeatureValue
+}
+
+// Flow-count constants from the paper's example.
+const (
+	tableIIFlood       = 53467
+	tableIIWeb         = 252069
+	tableIIBackscatter = 22667
+	tableIISMTP        = 22659
+	// TableIITotal is the paper's total input size (350 872); the four
+	// groups above sum to 350 862 and the residual 10 flows are benign
+	// filler on other ports.
+	TableIITotal = 350872
+)
+
+// TableIIScenario builds the Table II input set deterministically from
+// seed.
+func TableIIScenario(seed uint64) *TableIIData {
+	r := stats.NewRand(seed ^ 0x7ab1e2)
+	d := &TableIIData{
+		FloodPort:       7000,
+		BackscatterPort: 9022,
+		MinSupport:      10000,
+	}
+	internalBase := flow.MustParseU32("130.56.0.0")
+	internal := func() uint32 { return internalBase + r.Uint32N(1<<21) }
+
+	d.VictimE = internal()
+	for i := range d.Proxies {
+		d.Proxies[i] = externalAddr(r)
+	}
+	for i := 0; i < 4; i++ {
+		d.FloodSources = append(d.FloodSources, externalAddr(r))
+	}
+	d.FlaggedMetaValue = FeatureValue{flow.DstPort, uint64(d.FloodPort)}
+
+	d.Flows = make([]flow.Record, 0, TableIITotal)
+
+	// Flooding of victim E on dstPort 7000 by four compromised hosts;
+	// shares chosen so three exceed the 10 000 minimum support.
+	// Packet counts spread over six values keep the per-flow-size splits
+	// of the flood below minimum support, so exactly three maximal
+	// item-sets carry dstPort 7000 (one per above-support host), as in
+	// Table II.
+	shares := []int{20467, 15000, 10500, 7500} // sums to 53 467
+	for h, cnt := range shares {
+		for i := 0; i < cnt; i++ {
+			pkts := uint32(1 + r.IntN(6))
+			d.Flows = append(d.Flows, flow.Record{
+				SrcAddr: d.FloodSources[h], DstAddr: d.VictimE,
+				SrcPort: ephemeralPort(r), DstPort: d.FloodPort,
+				Protocol: flow.ProtoTCP, TCPFlags: flow.FlagSYN,
+				Packets: pkts, Bytes: uint64(pkts) * 40,
+			})
+		}
+	}
+
+	// HTTP: hosts A, B, C are heavy proxies originating traffic toward
+	// many web servers on dstPort 80; the remainder is diffuse web
+	// traffic from random clients.
+	proxyShare := []int{52000, 36000, 27000}
+	webServers := make([]uint32, 512)
+	for i := range webServers {
+		webServers[i] = externalAddr(r)
+	}
+	webFlow := func(src uint32) flow.Record {
+		pkts := uint32(r.BoundedPareto(1.3, 2, 5000))
+		return flow.Record{
+			SrcAddr: src, DstAddr: webServers[r.IntN(len(webServers))],
+			SrcPort: ephemeralPort(r), DstPort: 80,
+			Protocol: flow.ProtoTCP,
+			TCPFlags: flow.FlagSYN | flow.FlagACK | flow.FlagPSH | flow.FlagFIN,
+			Packets:  pkts, Bytes: uint64(pkts) * uint64(60+r.IntN(1400)),
+		}
+	}
+	for p, cnt := range proxyShare {
+		for i := 0; i < cnt; i++ {
+			d.Flows = append(d.Flows, webFlow(d.Proxies[p]))
+		}
+	}
+	for i := 0; i < tableIIWeb-52000-36000-27000; i++ {
+		d.Flows = append(d.Flows, webFlow(externalAddr(r)))
+	}
+
+	// Backscatter on dstPort 9022: every flow has a distinct random
+	// source IP and source port, single 40-byte packet.
+	for i := 0; i < tableIIBackscatter; i++ {
+		d.Flows = append(d.Flows, flow.Record{
+			SrcAddr: externalAddr(r), DstAddr: internal(),
+			SrcPort: ephemeralPort(r), DstPort: d.BackscatterPort,
+			Protocol: flow.ProtoTCP, TCPFlags: flow.FlagSYN | flow.FlagACK,
+			Packets: 1, Bytes: 40,
+		})
+	}
+
+	// SMTP background on dstPort 25 toward a pool of mail servers, none
+	// of which individually reaches minimum support.
+	mailServers := make([]uint32, 64)
+	for i := range mailServers {
+		mailServers[i] = internal()
+	}
+	for i := 0; i < tableIISMTP; i++ {
+		pkts := uint32(4 + r.IntN(60))
+		d.Flows = append(d.Flows, flow.Record{
+			SrcAddr: externalAddr(r), DstAddr: mailServers[r.IntN(len(mailServers))],
+			SrcPort: ephemeralPort(r), DstPort: 25,
+			Protocol: flow.ProtoTCP,
+			TCPFlags: flow.FlagSYN | flow.FlagACK | flow.FlagPSH,
+			Packets:  pkts, Bytes: uint64(pkts) * uint64(150+r.IntN(900)),
+		})
+	}
+
+	// Residual filler so the total matches the paper's 350 872.
+	for len(d.Flows) < TableIITotal {
+		d.Flows = append(d.Flows, flow.Record{
+			SrcAddr: externalAddr(r), DstAddr: internal(),
+			SrcPort: ephemeralPort(r), DstPort: uint16(1024 + r.IntN(64512)),
+			Protocol: flow.ProtoUDP, Packets: 1, Bytes: 100,
+		})
+	}
+	return d
+}

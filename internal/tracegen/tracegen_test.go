@@ -1,0 +1,390 @@
+package tracegen
+
+import (
+	"testing"
+
+	"anomalyx/internal/flow"
+)
+
+func TestIntervalDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.BaseFlows = 2000
+	g1 := New(cfg)
+	g2 := New(cfg)
+	a := g1.Interval(5)
+	b := g2.Interval(5)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestIntervalOrderIndependent(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.BaseFlows = 1500
+	g := New(cfg)
+	first := g.Interval(7)
+	_ = g.Interval(3) // generating another interval must not disturb 7
+	second := g.Interval(7)
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("record %d differs after other interval generated", i)
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.BaseFlows = 1000
+	g1 := New(cfg)
+	cfg2 := cfg
+	cfg2.Seed++
+	cfg2.Events = Schedule(cfg2.Intervals, cfg2.BaseFlows)
+	g2 := New(cfg2)
+	a, b := g1.Interval(0), g2.Interval(0)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical interval")
+		}
+	}
+}
+
+func TestFlowTimestampsWithinInterval(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.BaseFlows = 3000
+	g := New(cfg)
+	for _, idx := range []int{0, 10, cfg.Intervals - 1} {
+		lo := cfg.IntervalStart(idx)
+		hi := lo + cfg.IntervalLen.Milliseconds()
+		prev := int64(0)
+		for _, r := range g.Interval(idx) {
+			if r.Start < lo || r.Start >= hi {
+				t.Fatalf("interval %d: start %d outside [%d,%d)", idx, r.Start, lo, hi)
+			}
+			if r.End < r.Start || r.End >= hi {
+				t.Fatalf("interval %d: end %d invalid (start %d, hi %d)", idx, r.End, r.Start, hi)
+			}
+			if r.Start < prev {
+				t.Fatal("records not sorted by start time")
+			}
+			prev = r.Start
+		}
+	}
+}
+
+func TestFlowFieldSanity(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.BaseFlows = 3000
+	g := New(cfg)
+	for _, r := range g.Interval(2) {
+		if r.Packets == 0 {
+			t.Fatal("flow with zero packets")
+		}
+		if r.Bytes == 0 {
+			t.Fatal("flow with zero bytes")
+		}
+		if r.Protocol != flow.ProtoTCP && r.Protocol != flow.ProtoUDP && r.Protocol != flow.ProtoICMP {
+			t.Fatalf("unexpected protocol %d", r.Protocol)
+		}
+	}
+}
+
+func TestScheduleFullShape(t *testing.T) {
+	intervals := 1344
+	events := Schedule(intervals, 60000)
+	if len(events) != 36 {
+		t.Fatalf("got %d events, want 36", len(events))
+	}
+	counts := map[Class]int{}
+	anomalous := map[int]bool{}
+	for _, e := range events {
+		counts[e.Class]++
+		if e.Start > e.End || e.End >= intervals {
+			t.Fatalf("bad range %d..%d", e.Start, e.End)
+		}
+		for i := e.Start; i <= e.End; i++ {
+			anomalous[i] = true
+		}
+		if e.Flows <= 0 {
+			t.Fatalf("event %d has no flows", e.ID)
+		}
+	}
+	if len(anomalous) != 31 {
+		t.Errorf("anomalous intervals = %d, want 31", len(anomalous))
+	}
+	want := map[Class]int{
+		Scanning: 12, Flooding: 5, Backscatter: 5, DDoS: 4, Spam: 4,
+		NetworkExperiment: 3, Unknown: 3,
+	}
+	for c, n := range want {
+		if counts[c] != n {
+			t.Errorf("class %v: %d events, want %d", c, counts[c], n)
+		}
+	}
+	// Exactly one 3-interval and one 2-interval event.
+	spans := map[int]int{}
+	for _, e := range events {
+		spans[e.End-e.Start+1]++
+	}
+	if spans[3] != 1 || spans[2] != 1 || spans[1] != 34 {
+		t.Errorf("span histogram %v, want map[1:34 2:1 3:1]", spans)
+	}
+}
+
+func TestScheduleCompressed(t *testing.T) {
+	events := Schedule(60, 5000)
+	if len(events) == 0 {
+		t.Fatal("no events for short trace")
+	}
+	for _, e := range events {
+		if e.End >= 60 {
+			t.Fatalf("event beyond trace end: %+v", e)
+		}
+	}
+	if len(Schedule(0, 1000)) != 0 {
+		t.Error("zero intervals should give empty schedule")
+	}
+}
+
+func TestGroundTruthSignatures(t *testing.T) {
+	cfg := SmallConfig()
+	g := New(cfg)
+	gts := g.GroundTruth()
+	if len(gts) != len(cfg.Events) {
+		t.Fatalf("%d ground-truth events, want %d", len(gts), len(cfg.Events))
+	}
+	for _, gt := range gts {
+		if len(gt.Signature) == 0 {
+			t.Errorf("event %d (%v) has empty signature", gt.ID, gt.Class)
+		}
+		if gt.Name == "" {
+			t.Errorf("event %d has no name", gt.ID)
+		}
+	}
+}
+
+func TestInjectedFlowsCarrySignature(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.BaseFlows = 2000
+	g := New(cfg)
+	for _, idx := range g.AnomalousIntervals() {
+		events := g.EventsAt(idx)
+		if len(events) == 0 {
+			t.Fatalf("interval %d marked anomalous but has no events", idx)
+		}
+		recs := g.Interval(idx)
+		for _, ev := range events {
+			matched := 0
+			for i := range recs {
+				items := make([]FeatureValue, 0, flow.NumFeatures)
+				for _, k := range flow.AllFeatures {
+					items = append(items, FeatureValue{k, recs[i].Feature(k)})
+				}
+				if ev.Matches(items) {
+					matched++
+				}
+			}
+			// At least half the event's nominal volume should carry a
+			// signature value (volume jitter is ±10%).
+			if matched < ev.Flows/2 {
+				t.Errorf("interval %d event %q: only %d/%d flows match signature",
+					idx, ev.Name, matched, ev.Flows)
+			}
+		}
+	}
+}
+
+func TestAnomalousIntervalAccounting(t *testing.T) {
+	cfg := SmallConfig()
+	g := New(cfg)
+	marked := map[int]bool{}
+	for _, idx := range g.AnomalousIntervals() {
+		marked[idx] = true
+		if !g.IsAnomalous(idx) {
+			t.Fatalf("interval %d in list but IsAnomalous false", idx)
+		}
+	}
+	for i := 0; i < cfg.Intervals; i++ {
+		if g.IsAnomalous(i) != marked[i] {
+			t.Fatalf("IsAnomalous(%d) inconsistent", i)
+		}
+	}
+}
+
+func TestAnomalousIntervalHasMoreFlows(t *testing.T) {
+	cfg := SmallConfig()
+	g := New(cfg)
+	anom := g.AnomalousIntervals()
+	if len(anom) == 0 {
+		t.Fatal("no anomalous intervals")
+	}
+	idx := anom[0]
+	// Compare with a neighbouring clean interval at same diurnal phase
+	// (±1 interval is close enough for a factor check).
+	clean := idx + 1
+	for g.IsAnomalous(clean) {
+		clean++
+	}
+	nAnom := len(g.Interval(idx))
+	nClean := len(g.Interval(clean))
+	if nAnom <= nClean {
+		t.Errorf("anomalous interval %d has %d flows, clean %d has %d",
+			idx, nAnom, clean, nClean)
+	}
+}
+
+func TestEventMatches(t *testing.T) {
+	gt := GroundTruthEvent{
+		Signature: []FeatureValue{{flow.DstPort, 7000}, {flow.DstIP, 42}},
+	}
+	if !gt.Matches([]FeatureValue{{flow.SrcPort, 1}, {flow.DstPort, 7000}}) {
+		t.Error("should match on dstPort 7000")
+	}
+	if gt.Matches([]FeatureValue{{flow.SrcPort, 7000}}) {
+		t.Error("srcPort 7000 must not match dstPort 7000")
+	}
+	if gt.Matches(nil) {
+		t.Error("empty item list must not match")
+	}
+}
+
+func TestTableIIScenario(t *testing.T) {
+	d := TableIIScenario(1)
+	if len(d.Flows) != TableIITotal {
+		t.Fatalf("total flows %d, want %d", len(d.Flows), TableIITotal)
+	}
+	byPort := map[uint16]int{}
+	floodToVictim := 0
+	for i := range d.Flows {
+		byPort[d.Flows[i].DstPort]++
+		if d.Flows[i].DstPort == 7000 {
+			if d.Flows[i].DstAddr != d.VictimE {
+				t.Fatal("port-7000 flow not aimed at victim E")
+			}
+			floodToVictim++
+		}
+	}
+	if byPort[7000] != 53467 {
+		t.Errorf("flood flows %d, want 53467", byPort[7000])
+	}
+	if byPort[80] != 252069 {
+		t.Errorf("web flows %d, want 252069", byPort[80])
+	}
+	if byPort[9022] != 22667 {
+		t.Errorf("backscatter flows %d, want 22667", byPort[9022])
+	}
+	if byPort[25] != 22659 {
+		t.Errorf("smtp flows %d, want 22659", byPort[25])
+	}
+	// Exactly three flood sources above the paper's minimum support.
+	bySrc := map[uint32]int{}
+	for i := range d.Flows {
+		if d.Flows[i].DstPort == 7000 {
+			bySrc[d.Flows[i].SrcAddr]++
+		}
+	}
+	above := 0
+	for _, n := range bySrc {
+		if n >= d.MinSupport {
+			above++
+		}
+	}
+	if above != 3 {
+		t.Errorf("%d flood sources above minsup, want 3", above)
+	}
+}
+
+func TestTableIIDeterministic(t *testing.T) {
+	a := TableIIScenario(9)
+	b := TableIIScenario(9)
+	if a.VictimE != b.VictimE || len(a.Flows) != len(b.Flows) {
+		t.Fatal("scenario not deterministic")
+	}
+	for i := 0; i < len(a.Flows); i += 1000 {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+}
+
+func TestSasserScenario(t *testing.T) {
+	d := SasserScenario(3, 5000)
+	if d.StageFlows[0] == 0 || d.StageFlows[1] == 0 || d.StageFlows[2] == 0 {
+		t.Fatalf("stage flows %v, all must be positive", d.StageFlows)
+	}
+	// Count flows matching each stage's meta-data; they must be disjoint.
+	match := func(r *flow.Record, meta []FeatureValue) bool {
+		for _, m := range meta {
+			if r.Feature(m.Kind) == m.Value {
+				return true
+			}
+		}
+		return false
+	}
+	counts := [3]int{}
+	for i := range d.Flows {
+		inStages := 0
+		for s := 0; s < 3; s++ {
+			if match(&d.Flows[i], d.Meta[s][:]) {
+				counts[s]++
+				inStages++
+			}
+		}
+		if inStages > 1 {
+			t.Fatal("a flow matches two stages; stages must be flow-disjoint")
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if counts[s] < d.StageFlows[s] {
+			t.Errorf("stage %d: %d matching flows, expected at least %d",
+				s, counts[s], d.StageFlows[s])
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Flooding.String() != "Flooding" || Unknown.String() != "Unknown" {
+		t.Error("class names wrong")
+	}
+	if Class(200).String() != "Class(200)" {
+		t.Error("out-of-range class name wrong")
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	cfg := DefaultConfig()
+	b := newBaseline(&cfg)
+	perDay := int(24 * 60 / 15)
+	peak, trough := 0.0, 2.0
+	for i := 0; i < perDay; i++ {
+		v := b.diurnal(i)
+		if v > peak {
+			peak = v
+		}
+		if v < trough {
+			trough = v
+		}
+	}
+	if peak < 1.3 || trough > 0.7 {
+		t.Errorf("diurnal range [%.2f, %.2f], want ~[0.65, 1.35]", trough, peak)
+	}
+	cfg.DiurnalAmplitude = 0
+	b2 := newBaseline(&cfg)
+	if b2.diurnal(17) != 1 {
+		t.Error("zero amplitude should disable the cycle")
+	}
+}

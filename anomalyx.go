@@ -29,6 +29,7 @@ package anomalyx
 import (
 	"anomalyx/internal/core"
 	"anomalyx/internal/detector"
+	"anomalyx/internal/engine"
 	"anomalyx/internal/flow"
 	"anomalyx/internal/itemset"
 	"anomalyx/internal/mining"
@@ -93,10 +94,25 @@ const (
 	Bytes   = flow.Bytes
 )
 
+// Streaming engine types.
+type (
+	// Engine is the channel-based streaming front end: submit flows,
+	// receive one Report per measurement interval, with interval
+	// sharding by flow start time and bounded-buffer backpressure.
+	Engine = engine.Engine
+	// EngineConfig parameterizes a streaming engine.
+	EngineConfig = engine.Config
+)
+
 // NewPipeline builds an extraction pipeline; zero-value Config fields take
 // the paper's defaults (five features, k=1024, n=l=3, alpha=3, modified
 // Apriori, union prefilter, minimum support 5% of the suspicious flows).
+// Set Config.Workers to run the detector bank's batched ingestion on a
+// worker pool (0 = GOMAXPROCS).
 func NewPipeline(cfg Config) (*Pipeline, error) { return core.New(cfg) }
+
+// NewEngine builds and starts a streaming engine around a pipeline.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // ExtractOffline runs the extraction stage alone on a recorded interval:
 // prefilter recs with meta and mine the suspicious set (the post-mortem

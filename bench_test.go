@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"anomalyx"
 	"anomalyx/internal/detector"
 	"anomalyx/internal/experiments"
 	"anomalyx/internal/flow"
@@ -278,6 +279,39 @@ func BenchmarkPipelineInterval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.ProcessInterval(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)))
+}
+
+// BenchmarkPipelineParallel measures batched detector-bank throughput
+// with the worker pool sized by GOMAXPROCS, so a -cpu sweep contrasts
+// the sequential path (-cpu 1 collapses the pool to one worker) with the
+// parallel fan-out over the (detector, clone) tasks:
+//
+//	go test -bench=PipelineParallel -cpu 1,4
+func BenchmarkPipelineParallel(b *testing.B) {
+	r := stats.NewRand(8)
+	recs := make([]flow.Record, 20000)
+	for i := range recs {
+		recs[i] = flow.Record{
+			SrcAddr: uint32(r.IntN(50000)), DstAddr: uint32(r.IntN(2000)),
+			SrcPort: uint16(r.IntN(60000)), DstPort: uint16(r.IntN(1500)),
+			Protocol: 6, Packets: uint32(1 + r.IntN(20)), Bytes: uint64(100 + r.IntN(2000)),
+		}
+	}
+	p, err := anomalyx.NewPipeline(anomalyx.Config{
+		Detector: anomalyx.DetectorConfig{Bins: 1024, TrainIntervals: 4},
+		Workers:  0, // GOMAXPROCS, resolved per call — tracks the -cpu sweep
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ObserveBatch(recs)
+		if _, err := p.EndInterval(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -72,7 +72,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	p, err := anomalyx.NewPipeline(cfg)
+	eng, err := anomalyx.NewEngine(anomalyx.EngineConfig{
+		Pipeline:    cfg,
+		IntervalLen: *interval,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -82,26 +85,30 @@ func main() {
 	}
 	defer f.Close()
 
-	r := anomalyx.NewFlowReader(f)
-	intervalMs := interval.Milliseconds()
-	var boundary int64 // end of the current interval; set from the first flow
+	// Consume interval reports concurrently with trace parsing; the
+	// engine's bounded buffers keep the two sides in step.
 	idx := 0
 	alarms := 0
-
-	flush := func() {
-		rep, err := p.EndInterval()
-		if err != nil {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range eng.Reports() {
+			if rep.Alarm || *verbose {
+				printReport(rep, idx, *top)
+			}
+			if rep.Alarm {
+				alarms++
+			}
+			idx++
+		}
+		// Reports closes early on a pipeline error; surface it now
+		// rather than after the (possibly endless) input drains.
+		if err := eng.Err(); err != nil {
 			fatal(err)
 		}
-		if rep.Alarm || *verbose {
-			printReport(rep, idx, *top)
-		}
-		if rep.Alarm {
-			alarms++
-		}
-		idx++
-	}
+	}()
 
+	r := anomalyx.NewFlowReader(f)
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -110,16 +117,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if boundary == 0 {
-			boundary = rec.Start - rec.Start%intervalMs + intervalMs
-		}
-		for rec.Start >= boundary {
-			flush()
-			boundary += intervalMs
-		}
-		p.Observe(rec)
+		eng.Submit(rec)
 	}
-	flush()
+	if err := eng.Close(); err != nil {
+		fatal(err)
+	}
+	<-done
 	fmt.Printf("\nprocessed %d intervals, %d alarms\n", idx, alarms)
 }
 

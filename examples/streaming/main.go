@@ -1,10 +1,17 @@
 // Streaming: online detection over a NetFlow byte stream plus
 // sliding-window mining. A generator goroutine writes NetFlow v5 packets
 // into a pipe (standing in for a router's export stream); the consumer
-// side parses flows as they arrive, feeds the pipeline at interval
-// boundaries, and keeps a sliding-window Eclat miner with the most recent
-// flows for ad-hoc "what is frequent right now" queries — the streaming
+// side parses flows as they arrive and submits them to the streaming
+// engine, which shards the stream into measurement intervals, batches
+// the detector updates, and delivers one report per interval on a
+// channel. A sliding-window Eclat miner over the most recent flows
+// answers ad-hoc "what is frequent right now" queries — the streaming
 // extension of §V.
+//
+// The parsing loop mirrors the engine's interval-boundary grid and
+// consumes each interval's report before pushing newer flows into the
+// window, so every window query reflects exactly the traffic up to the
+// interval being reported.
 //
 // Run with: go run ./examples/streaming
 package main
@@ -51,20 +58,28 @@ func main() {
 		pw.Close()
 	}()
 
-	// Consumer: parse flows, close pipeline intervals on time
-	// boundaries, and keep a sliding window of the last 20k flows.
-	p, err := anomalyx.NewPipeline(anomalyx.Config{
-		Detector:        anomalyx.DetectorConfig{Bins: 512, TrainIntervals: 6},
-		RelativeSupport: 0.05,
+	// The engine shards the stream into intervals and reports on a
+	// channel; its bounded buffers give backpressure against the parser.
+	eng, err := anomalyx.NewEngine(anomalyx.EngineConfig{
+		Pipeline: anomalyx.Config{
+			Detector:        anomalyx.DetectorConfig{Bins: 512, TrainIntervals: 6},
+			RelativeSupport: 0.05,
+		},
+		IntervalLen: cfg.IntervalLen,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Sliding window of the last 20k flows for ad-hoc queries.
 	window := eclat.NewWindow(20000)
 
+	// Consumer: parse flows off the wire and submit them to the engine,
+	// tracking the same boundary grid the engine uses so each interval's
+	// report is consumed while the window still holds that interval.
 	r := anomalyx.NewFlowReader(pr)
 	intervalMs := cfg.IntervalLen.Milliseconds()
-	boundary := cfg.IntervalStart(0) + intervalMs
+	var boundary int64 // end of the current interval; seeded by the first flow
 	idx := 0
 	for {
 		rec, err := r.Next()
@@ -74,22 +89,35 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if boundary == 0 {
+			boundary = eng.BoundaryAfter(rec.Start) // the engine's own grid
+		}
+		crossed := 0
 		for rec.Start >= boundary {
-			report(p, window, idx)
+			crossed++
 			boundary += intervalMs
+		}
+		eng.Submit(rec) // the engine closes `crossed` intervals on this record
+		for i := 0; i < crossed; i++ {
+			rep, ok := <-eng.Reports()
+			if !ok {
+				log.Fatal(eng.Err()) // pipeline failed; Reports closed early
+			}
+			report(rep, window, idx)
 			idx++
 		}
-		p.Observe(rec)
 		window.Push(itemset.FromFlow(&rec))
 	}
-	report(p, window, idx)
-}
-
-func report(p *anomalyx.Pipeline, window *eclat.Window, idx int) {
-	rep, err := p.EndInterval()
-	if err != nil {
+	if err := eng.Close(); err != nil {
 		log.Fatal(err)
 	}
+	for rep := range eng.Reports() {
+		report(rep, window, idx)
+		idx++
+	}
+}
+
+func report(rep *anomalyx.Report, window *eclat.Window, idx int) {
 	if !rep.Alarm {
 		fmt.Printf("interval %2d: %6d flows, quiet\n", idx, rep.TotalFlows)
 		return

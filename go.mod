@@ -1,0 +1,3 @@
+module anomalyx
+
+go 1.24

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"anomalyx/internal/cost"
 	"anomalyx/internal/detector"
@@ -47,6 +48,10 @@ type Config struct {
 	// anomalies with slightly varying sizes then aggregate into one
 	// item-set instead of fragmenting below the minimum support.
 	QuantizeSizes bool
+	// Workers bounds the detector bank's worker pool for ObserveBatch
+	// and EndInterval. 0 means GOMAXPROCS (tracking -cpu sweeps at call
+	// time); 1 forces the sequential path.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,11 +94,16 @@ type Report struct {
 }
 
 // Pipeline is the online anomaly-extraction engine. Feed flows with
-// Observe and close intervals with EndInterval; it is not safe for
-// concurrent use.
+// Observe or ObserveBatch and close intervals with EndInterval. It is
+// safe for concurrent use: observes may run from multiple goroutines and
+// EndInterval linearizes the interval boundary, though callers that need
+// a well-defined flow-to-interval assignment must still serialize
+// observes against interval closes themselves (the engine package does).
 type Pipeline struct {
-	cfg    Config
-	bank   *detector.Bank
+	cfg  Config
+	bank *detector.Bank
+
+	mu     sync.Mutex
 	buffer []flow.Record
 }
 
@@ -109,6 +119,7 @@ func New(cfg Config) (*Pipeline, error) {
 	bank, err := detector.NewBank(detector.BankConfig{
 		Features: cfg.Features,
 		Template: cfg.Detector,
+		Workers:  cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -121,13 +132,31 @@ func (p *Pipeline) Config() Config { return p.cfg }
 
 // Observe feeds one flow of the current interval.
 func (p *Pipeline) Observe(rec flow.Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.buffer = append(p.buffer, rec)
 	p.bank.Observe(&rec)
+}
+
+// ObserveBatch feeds a batch of flows of the current interval. It
+// amortizes per-record overhead and fans the detector-bank updates out
+// over the configured worker pool; the resulting detector state is
+// identical to observing each record with Observe.
+func (p *Pipeline) ObserveBatch(recs []flow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buffer = append(p.buffer, recs...)
+	p.bank.ObserveBatch(recs)
 }
 
 // EndInterval closes the current interval: runs detection and, on an
 // alarm, extraction (prefilter + mining). The flow buffer is cleared.
 func (p *Pipeline) EndInterval() (*Report, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	det := p.bank.EndInterval()
 	rep := &Report{
 		Interval:   det.Interval,
@@ -144,12 +173,10 @@ func (p *Pipeline) EndInterval() (*Report, error) {
 	return rep, nil
 }
 
-// ProcessInterval is the batch convenience: Observe all recs, then
+// ProcessInterval is the batch convenience: ObserveBatch all recs, then
 // EndInterval.
 func (p *Pipeline) ProcessInterval(recs []flow.Record) (*Report, error) {
-	for i := range recs {
-		p.Observe(recs[i])
-	}
+	p.ObserveBatch(recs)
 	return p.EndInterval()
 }
 

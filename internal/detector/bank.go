@@ -1,6 +1,9 @@
 package detector
 
 import (
+	"runtime"
+	"sync"
+
 	"anomalyx/internal/flow"
 )
 
@@ -14,13 +17,28 @@ type BankConfig struct {
 	// Template provides the shared per-detector parameters; its Feature
 	// field is overwritten per detector.
 	Template Config
+	// Workers bounds the per-call goroutine fan-out ObserveBatch and
+	// EndInterval use to run the d detectors and their n histogram
+	// clones concurrently (workers are spawned per call, not pooled
+	// across calls). 0 means GOMAXPROCS (resolved at call time, so it
+	// tracks -cpu sweeps); 1 forces the sequential path.
+	Workers int
 }
 
 // Bank runs one detector per traffic feature and consolidates their
-// alarm meta-data by union (Fig. 3).
+// alarm meta-data by union (Fig. 3). Its methods are safe for concurrent
+// use: observes and interval closes are linearized by an internal mutex,
+// while the batch work itself fans out over up to Workers goroutines
+// spawned for the duration of the call.
 type Bank struct {
+	mu        sync.Mutex
 	detectors []*Detector
+	workers   int
 }
+
+// minParallelBatch is the batch size below which fan-out overhead
+// exceeds the win and ObserveBatch stays sequential.
+const minParallelBatch = 256
 
 // BankResult is the outcome of one interval across all features.
 type BankResult struct {
@@ -40,7 +58,7 @@ func NewBank(cfg BankConfig) (*Bank, error) {
 	if len(feats) == 0 {
 		feats = flow.DetectorFeatures[:]
 	}
-	b := &Bank{}
+	b := &Bank{workers: cfg.Workers}
 	for _, f := range feats {
 		dcfg := cfg.Template
 		dcfg.Feature = f
@@ -56,19 +74,107 @@ func NewBank(cfg BankConfig) (*Bank, error) {
 // Detectors exposes the underlying per-feature detectors (read-only use).
 func (b *Bank) Detectors() []*Detector { return b.detectors }
 
+// poolSize resolves the effective worker count for one call.
+func (b *Bank) poolSize() int {
+	if b.workers > 0 {
+		return b.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Observe feeds one flow into every feature detector.
 func (b *Bank) Observe(rec *flow.Record) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for _, d := range b.detectors {
 		d.Observe(rec)
 	}
 }
 
-// EndInterval closes the interval on every detector and merges their
-// meta-data (union across detectors, §II-A).
-func (b *Bank) EndInterval() BankResult {
-	res := BankResult{Meta: NewMetaData()}
+// ObserveBatch feeds a batch of flows into every feature detector,
+// fanning the (detector, clone) histogram updates out over the worker
+// pool. The result is identical to observing each record sequentially:
+// histogram updates commute and each clone is owned by one task.
+func (b *Bank) ObserveBatch(recs []flow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	workers := b.poolSize()
+	if workers <= 1 || len(recs) < minParallelBatch {
+		for _, d := range b.detectors {
+			d.ObserveBatch(recs)
+		}
+		return
+	}
+	type task struct {
+		d     *Detector
+		clone int
+	}
+	ntasks := 0
 	for _, d := range b.detectors {
-		r := d.EndInterval()
+		ntasks += len(d.cur)
+	}
+	if workers > ntasks {
+		workers = ntasks
+	}
+	tasks := make(chan task, ntasks)
+	for _, d := range b.detectors {
+		for c := range d.cur {
+			tasks <- task{d, c}
+		}
+	}
+	close(tasks)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				t.d.observeClone(t.clone, recs)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EndInterval closes the interval on every detector and merges their
+// meta-data (union across detectors, §II-A). The per-detector interval
+// close runs on the worker pool; results are merged in feature order, so
+// the report is identical to the sequential path.
+func (b *Bank) EndInterval() BankResult {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	results := make([]Result, len(b.detectors))
+	if workers := b.poolSize(); workers <= 1 {
+		for i, d := range b.detectors {
+			results[i] = d.EndInterval()
+		}
+	} else {
+		if workers > len(b.detectors) {
+			workers = len(b.detectors)
+		}
+		idx := make(chan int, len(b.detectors))
+		for i := range b.detectors {
+			idx <- i
+		}
+		close(idx)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = b.detectors[i].EndInterval()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	res := BankResult{Meta: NewMetaData()}
+	for _, r := range results {
 		res.Interval = r.Interval
 		res.PerFeature = append(res.PerFeature, r)
 		if r.Alarm {

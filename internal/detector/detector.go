@@ -2,6 +2,7 @@ package detector
 
 import (
 	"fmt"
+	"sort"
 
 	"anomalyx/internal/flow"
 	"anomalyx/internal/hash"
@@ -170,6 +171,25 @@ func (d *Detector) Observe(rec *flow.Record) {
 	}
 }
 
+// ObserveBatch feeds a batch of flow records into the current interval.
+// It is equivalent to calling Observe on each record but amortizes the
+// per-record call overhead.
+func (d *Detector) ObserveBatch(recs []flow.Record) {
+	for c := range d.cur {
+		d.observeClone(c, recs)
+	}
+}
+
+// observeClone feeds the batch into clone c's histogram only — the unit
+// of work the parallel bank schedules on its worker pool.
+func (d *Detector) observeClone(c int, recs []flow.Record) {
+	h := d.cur[c]
+	k := d.cfg.Feature
+	for i := range recs {
+		h.Add(recs[i].Feature(k))
+	}
+}
+
 // Threshold returns the current alarm threshold (alpha * robust sigma of
 // the pooled first-difference history) and whether enough history exists.
 // The history pools one sample per clone per interval, so training
@@ -227,6 +247,9 @@ func (d *Detector) EndInterval() Result {
 				res.Meta = append(res.Meta, v)
 			}
 		}
+		// Sort so results are deterministic regardless of map iteration
+		// order — the parallel bank's byte-identical-merge contract.
+		sort.Slice(res.Meta, func(i, j int) bool { return res.Meta[i] < res.Meta[j] })
 	}
 
 	d.rotate(res)

@@ -1,0 +1,112 @@
+package detector
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/stats"
+)
+
+// testBatch synthesizes one interval's worth of flows (deterministic in
+// the rand seed) with enough records to cross minParallelBatch.
+func testBatch(r *stats.Rand, n int) []flow.Record {
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		recs[i] = flow.Record{
+			SrcAddr: uint32(r.IntN(50000)), DstAddr: uint32(r.IntN(2000)),
+			SrcPort: uint16(r.IntN(60000)), DstPort: uint16(r.IntN(1500)),
+			Protocol: 6, Packets: uint32(1 + r.IntN(20)), Bytes: uint64(100 + r.IntN(2000)),
+		}
+	}
+	return recs
+}
+
+// TestBankParallelMatchesSequential verifies the deterministic-merge
+// contract: the parallel bank produces results identical to the
+// sequential path on the same stream, including alarming intervals.
+func TestBankParallelMatchesSequential(t *testing.T) {
+	tmpl := Config{Bins: 256, TrainIntervals: 4, Seed: 11}
+	seq, err := NewBank(BankConfig{Template: tmpl, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewBank(BankConfig{Template: tmpl, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := stats.NewRand(42)
+	alarmed := false
+	for interval := 0; interval < 10; interval++ {
+		recs := testBatch(r, 4000)
+		if interval == 9 {
+			// A dstPort flood in the final interval forces alarms so the
+			// identification + voting path is compared too.
+			flood := make([]flow.Record, 2000)
+			for i := range flood {
+				flood[i] = flow.Record{
+					SrcAddr: uint32(r.IntN(1 << 28)), DstAddr: 42,
+					SrcPort: uint16(r.IntN(60000)), DstPort: 31337,
+					Protocol: 6, Packets: 1, Bytes: 40,
+				}
+			}
+			recs = append(recs, flood...)
+		}
+		for _, rec := range recs {
+			seq.Observe(&rec)
+		}
+		par.ObserveBatch(recs)
+		sres := seq.EndInterval()
+		pres := par.EndInterval()
+		if !reflect.DeepEqual(sres, pres) {
+			t.Fatalf("interval %d: parallel result diverged\nseq: %+v\npar: %+v", interval, sres, pres)
+		}
+		if sres.Alarm {
+			alarmed = true
+		}
+	}
+	if !alarmed {
+		t.Error("no interval alarmed; flood comparison not exercised")
+	}
+}
+
+// TestBankConcurrentObserveBatch drives ObserveBatch from many
+// goroutines at once (run under -race). Histogram updates commute, so
+// the end state must match a single-goroutine feed of the same batches.
+func TestBankConcurrentObserveBatch(t *testing.T) {
+	tmpl := Config{Bins: 128, Seed: 7}
+	ref, err := NewBank(BankConfig{Template: tmpl, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := NewBank(BankConfig{Template: tmpl, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const producers = 8
+	batches := make([][]flow.Record, producers)
+	r := stats.NewRand(3)
+	for i := range batches {
+		batches[i] = testBatch(r, 1000)
+	}
+	for _, recs := range batches {
+		ref.ObserveBatch(recs)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for i := 0; i < producers; i++ {
+		go func(recs []flow.Record) {
+			defer wg.Done()
+			conc.ObserveBatch(recs)
+		}(batches[i])
+	}
+	wg.Wait()
+
+	if got, want := conc.EndInterval(), ref.EndInterval(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent feed diverged from sequential feed\ngot:  %+v\nwant: %+v", got, want)
+	}
+}

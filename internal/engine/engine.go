@@ -1,0 +1,216 @@
+// Package engine provides a channel-based streaming front end for the
+// anomaly-extraction pipeline: callers submit flow records as they
+// arrive (from a collector socket, a trace file, a message queue) and
+// receive one Report per measurement interval on a channel.
+//
+// The engine shards the incoming stream into measurement intervals by
+// flow start time — the boundary grid is aligned to IntervalLen, like a
+// router's export clock — groups records into batches to amortize
+// per-record pipeline overhead via Pipeline.ObserveBatch, and closes an
+// interval (detection + extraction) whenever a record crosses the
+// current boundary. Both channels are bounded, so a slow consumer
+// exerts backpressure all the way back to Submit instead of growing an
+// unbounded queue.
+//
+//	eng, _ := engine.New(engine.Config{IntervalLen: 15 * time.Minute})
+//	go func() {
+//		for rep := range eng.Reports() {
+//			handle(rep)
+//		}
+//	}()
+//	for rec := range source {
+//		eng.Submit(rec)
+//	}
+//	if err := eng.Close(); err != nil {
+//		log.Fatal(err)
+//	}
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/flow"
+)
+
+// Config parameterizes a streaming engine.
+type Config struct {
+	// Pipeline configures the underlying extraction pipeline; zero-value
+	// fields take the paper's defaults (see core.Config).
+	Pipeline core.Config
+	// IntervalLen is the measurement-interval length Delta (default the
+	// paper's 15 minutes). Interval boundaries are aligned to multiples
+	// of IntervalLen from the epoch, seeded by the first record.
+	IntervalLen time.Duration
+	// BatchSize is the number of records grouped into one ObserveBatch
+	// call (default 512).
+	BatchSize int
+	// Buffer is the input-channel capacity — the backpressure bound.
+	// Submit blocks once Buffer records are queued (default 8192).
+	Buffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.IntervalLen <= 0 {
+		c.IntervalLen = 15 * time.Minute
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 8192
+	}
+	return c
+}
+
+// Engine is the streaming front end. Submit may be called from multiple
+// goroutines; Reports delivers interval reports in interval order.
+//
+// On a pipeline error the engine settles Err, closes Reports
+// immediately — even while producers are still submitting — and
+// silently discards further input until Close, so a consumer on a live
+// stream learns about the failure right away.
+type Engine struct {
+	cfg Config
+	p   *core.Pipeline
+
+	in   chan flow.Record
+	out  chan *core.Report
+	fin  chan struct{} // closed once err is settled, before out closes
+	done chan struct{} // closed when the processing goroutine exits
+
+	closeOnce sync.Once
+	err       error // settled before fin closes
+}
+
+// New builds an engine and starts its processing goroutine.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.IntervalLen < time.Millisecond {
+		// Flow timestamps are in milliseconds; anything finer truncates
+		// to a zero-length boundary grid.
+		return nil, fmt.Errorf("engine: interval length %v below 1ms resolution", cfg.IntervalLen)
+	}
+	p, err := core.New(cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		p:    p,
+		in:   make(chan flow.Record, cfg.Buffer),
+		out:  make(chan *core.Report, 16),
+		fin:  make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go e.run()
+	return e, nil
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// BoundaryAfter returns the end of the measurement interval containing
+// timestamp ms (Unix milliseconds) on the engine's boundary grid —
+// intervals are aligned to multiples of IntervalLen from the epoch.
+// Callers that mirror the engine's interval sharding (to line external
+// state up with the reports) must use this rather than re-deriving the
+// grid.
+func (e *Engine) BoundaryAfter(ms int64) int64 {
+	step := e.cfg.IntervalLen.Milliseconds()
+	return ms - ms%step + step
+}
+
+// Pipeline exposes the underlying extraction pipeline (read-only use;
+// mutating it concurrently with a running engine races with the
+// processing goroutine).
+func (e *Engine) Pipeline() *core.Pipeline { return e.p }
+
+// Submit queues one flow record, blocking when the input buffer is full
+// (backpressure). It must not be called after Close.
+func (e *Engine) Submit(rec flow.Record) { e.in <- rec }
+
+// Reports returns the channel of per-interval reports. It is closed
+// after the final interval has been emitted (following Close) or after
+// a pipeline error; Err reports the cause in the latter case.
+func (e *Engine) Reports() <-chan *core.Report { return e.out }
+
+// Close ends the stream: the current partial interval is flushed, its
+// report emitted, and the Reports channel closed. Close blocks until the
+// processing goroutine has drained and returns the first pipeline error,
+// if any. It is idempotent.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() { close(e.in) })
+	<-e.done
+	return e.err
+}
+
+// Err returns the pipeline error that terminated the engine, if any.
+// It is meaningful once the Reports channel has closed: the error is
+// settled before Reports closes, so a consumer that observed the close
+// always sees the cause.
+func (e *Engine) Err() error {
+	select {
+	case <-e.fin:
+		return e.err
+	default:
+		return nil
+	}
+}
+
+// run is the processing goroutine: process the stream, settle the
+// error, close Reports, and keep draining input until the producers
+// Close so a failed pipeline never blocks a live stream.
+func (e *Engine) run() {
+	defer close(e.done)
+	e.err = e.process()
+	close(e.fin)
+	close(e.out)
+	if e.err != nil {
+		// Discard further input until Close; the error is surfaced
+		// through Err (Reports just closed) and Close.
+		for range e.in {
+		}
+	}
+}
+
+// process batches records, cuts intervals at the time-boundary grid,
+// and emits reports; it returns the first pipeline error.
+func (e *Engine) process() error {
+	batch := make([]flow.Record, 0, e.cfg.BatchSize)
+	var boundary int64 // end of the current interval; 0 until the first record
+
+	flushBatch := func() {
+		e.p.ObserveBatch(batch)
+		batch = batch[:0]
+	}
+	endInterval := func() error {
+		flushBatch()
+		rep, err := e.p.EndInterval()
+		if err != nil {
+			return err
+		}
+		e.out <- rep
+		return nil
+	}
+
+	intervalMs := e.cfg.IntervalLen.Milliseconds()
+	for rec := range e.in {
+		if boundary == 0 {
+			boundary = e.BoundaryAfter(rec.Start)
+		}
+		for rec.Start >= boundary {
+			if err := endInterval(); err != nil {
+				return err
+			}
+			boundary += intervalMs
+		}
+		batch = append(batch, rec)
+		if len(batch) >= e.cfg.BatchSize {
+			flushBatch()
+		}
+	}
+	return endInterval()
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/mining"
+	"anomalyx/internal/stats"
+)
+
+const intervalLen = time.Minute
+
+// makeStream synthesizes a timestamped stream spanning several
+// measurement intervals, with a dstPort flood in interval floodAt.
+func makeStream(seed uint64, intervals, perInterval, floodAt int) []flow.Record {
+	r := stats.NewRand(seed)
+	base := int64(1_700_000_000_000)
+	base -= base % intervalLen.Milliseconds() // align so intervals split evenly
+	var out []flow.Record
+	for i := 0; i < intervals; i++ {
+		start := base + int64(i)*intervalLen.Milliseconds()
+		for j := 0; j < perInterval; j++ {
+			rec := flow.Record{
+				SrcAddr: uint32(r.IntN(50000)), DstAddr: uint32(r.IntN(2000)),
+				SrcPort: uint16(r.IntN(60000)), DstPort: uint16(r.IntN(1500)),
+				Protocol: 6, Packets: uint32(1 + r.IntN(20)), Bytes: uint64(100 + r.IntN(2000)),
+			}
+			if i == floodAt && j%3 == 0 {
+				rec.DstAddr, rec.DstPort, rec.Packets, rec.Bytes = 42, 31337, 1, 40
+			}
+			rec.Start = start + int64(j)%intervalLen.Milliseconds()
+			rec.End = rec.Start
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func testConfig(workers int) core.Config {
+	return core.Config{
+		Detector: detector.Config{Bins: 256, TrainIntervals: 4, Seed: 3},
+		Workers:  workers,
+	}
+}
+
+// TestEngineMatchesManualLoop verifies the engine's interval sharding:
+// submitting a timestamped stream produces exactly the reports a manual
+// Observe/EndInterval loop over the same boundary grid produces.
+func TestEngineMatchesManualLoop(t *testing.T) {
+	stream := makeStream(1, 8, 3000, 7)
+
+	// Manual reference: per-record loop with the cmd/anomalyx boundary
+	// arithmetic on a sequential pipeline.
+	ref, err := core.New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervalMs := intervalLen.Milliseconds()
+	var want []*core.Report
+	var boundary int64
+	for _, rec := range stream {
+		if boundary == 0 {
+			boundary = rec.Start - rec.Start%intervalMs + intervalMs
+		}
+		for rec.Start >= boundary {
+			rep, err := ref.EndInterval()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, rep)
+			boundary += intervalMs
+		}
+		ref.Observe(rec)
+	}
+	rep, err := ref.EndInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, rep)
+
+	eng, err := New(Config{Pipeline: testConfig(0), IntervalLen: intervalLen, BatchSize: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*core.Report
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range eng.Reports() {
+			got = append(got, rep)
+		}
+	}()
+	for _, rec := range stream {
+		eng.Submit(rec)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if len(got) != len(want) {
+		t.Fatalf("engine emitted %d reports, want %d", len(got), len(want))
+	}
+	alarmed := false
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("interval %d: engine report diverged\ngot:  %+v\nwant: %+v", i, got[i], want[i])
+		}
+		if want[i].Alarm {
+			alarmed = true
+		}
+	}
+	if !alarmed {
+		t.Error("no alarm in the stream; extraction path not compared")
+	}
+}
+
+// TestEngineConcurrentProducers submits from many goroutines at once
+// (run under -race). All records carry timestamps inside one interval,
+// so exactly one report must account for every submitted flow.
+func TestEngineConcurrentProducers(t *testing.T) {
+	eng, err := New(Config{Pipeline: testConfig(4), IntervalLen: intervalLen, Buffer: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 8
+	const perProducer = 5000
+	base := int64(1_700_000_000_000)
+	base -= base % intervalLen.Milliseconds()
+
+	var total int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range eng.Reports() {
+			total += rep.TotalFlows
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for i := 0; i < producers; i++ {
+		go func(seed uint64) {
+			defer wg.Done()
+			r := stats.NewRand(seed)
+			for j := 0; j < perProducer; j++ {
+				eng.Submit(flow.Record{
+					SrcAddr: uint32(r.IntN(10000)), DstPort: uint16(r.IntN(1000)),
+					Protocol: 6, Packets: 1, Bytes: 100,
+					Start: base + int64(j)%intervalLen.Milliseconds(),
+				})
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if want := producers * perProducer; total != want {
+		t.Fatalf("reports account for %d flows, want %d", total, want)
+	}
+	if eng.Err() != nil {
+		t.Fatalf("engine error: %v", eng.Err())
+	}
+}
+
+// errMiner fails every Mine call, simulating a mid-stream pipeline
+// failure on the first alarming interval.
+type errMiner struct{}
+
+func (errMiner) Mine([]itemset.Transaction, int) (*mining.Result, error) {
+	return nil, errors.New("miner exploded")
+}
+func (errMiner) Name() string { return "err" }
+
+// TestEngineErrorSurfacesOnLiveStream injects a failing miner and keeps
+// submitting after the failure, as a live collector would: the Reports
+// channel must close early with Err settled, Submit must never block on
+// the dead pipeline, and Close must return the error.
+func TestEngineErrorSurfacesOnLiveStream(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Miner = errMiner{}
+	eng, err := New(Config{Pipeline: cfg, IntervalLen: intervalLen, Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer: when Reports closes, the cause must already be visible.
+	errAtClose := make(chan error, 1)
+	go func() {
+		for range eng.Reports() {
+		}
+		errAtClose <- eng.Err()
+	}()
+
+	// A stream whose flood sits one interval before the end: mining
+	// fails when the boundary after it is crossed, records keep coming.
+	for _, rec := range makeStream(2, 8, 3000, 6) {
+		eng.Submit(rec) // must not block after the pipeline dies
+	}
+
+	if err := eng.Close(); err == nil || err.Error() == "" {
+		t.Fatalf("Close error = %v, want the mining failure", err)
+	}
+	if err := <-errAtClose; err == nil {
+		t.Fatal("Err() was nil when Reports closed")
+	}
+}
+
+// TestEngineRejectsSubMillisecondInterval: flow timestamps have 1ms
+// resolution; a finer interval would truncate to a zero-length grid and
+// divide by zero in the processing goroutine.
+func TestEngineRejectsSubMillisecondInterval(t *testing.T) {
+	if _, err := New(Config{Pipeline: testConfig(1), IntervalLen: 500 * time.Microsecond}); err == nil {
+		t.Fatal("sub-millisecond interval accepted")
+	}
+}
+
+// TestEngineCloseIdempotent double-closes and checks the empty-stream
+// behavior (one empty report, like the CLI's EOF flush).
+func TestEngineCloseIdempotent(t *testing.T) {
+	eng, err := New(Config{Pipeline: testConfig(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range eng.Reports() {
+			n++
+		}
+	}()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if n != 1 {
+		t.Fatalf("empty stream emitted %d reports, want 1", n)
+	}
+}

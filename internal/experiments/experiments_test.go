@@ -30,6 +30,9 @@ func quickRun(t *testing.T) *TraceRun {
 }
 
 func TestTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("350k-flow Table II regeneration skipped in -short mode")
+	}
 	res, err := TableII(20071203)
 	if err != nil {
 		t.Fatal(err)
@@ -321,6 +324,9 @@ func TestSasserExperiment(t *testing.T) {
 }
 
 func TestMinerComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-miner timing comparison skipped in -short mode")
+	}
 	res, err := MinerComparison(1, []int{20000, 60000}, 0.03)
 	if err != nil {
 		t.Fatal(err)

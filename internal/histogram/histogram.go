@@ -7,6 +7,7 @@ package histogram
 
 import (
 	"math"
+	"sort"
 
 	"anomalyx/internal/hash"
 )
@@ -76,7 +77,10 @@ func (h *Histogram) CountsCopy() []uint64 {
 }
 
 // ValuesInBin returns the distinct feature values observed in bin b during
-// the current interval. It returns nil when value tracking is disabled.
+// the current interval, in ascending order (deterministic regardless of
+// map iteration order — detector reports must be byte-identical across
+// runs and across the sequential/parallel bank paths). It returns nil
+// when value tracking is disabled.
 func (h *Histogram) ValuesInBin(b int) []uint64 {
 	if h.values == nil || h.values[b] == nil {
 		return nil
@@ -85,6 +89,7 @@ func (h *Histogram) ValuesInBin(b int) []uint64 {
 	for v := range h.values[b] {
 		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

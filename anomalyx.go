@@ -27,6 +27,8 @@
 package anomalyx
 
 import (
+	"runtime"
+
 	"anomalyx/internal/core"
 	"anomalyx/internal/detector"
 	"anomalyx/internal/engine"
@@ -38,6 +40,7 @@ import (
 	"anomalyx/internal/mining/fpgrowth"
 	"anomalyx/internal/netflow"
 	"anomalyx/internal/prefilter"
+	"anomalyx/internal/shard"
 )
 
 // Core model types.
@@ -96,12 +99,26 @@ const (
 
 // Streaming engine types.
 type (
-	// Engine is the channel-based streaming front end: submit flows,
-	// receive one Report per measurement interval, with interval
-	// sharding by flow start time and bounded-buffer backpressure.
+	// Engine is the channel-based streaming front end: submit flows
+	// (Submit or the batched SubmitBatch, which returns how many
+	// intervals the batch closed), receive one Report per measurement
+	// interval, with interval sharding by flow start time and
+	// bounded-buffer backpressure.
 	Engine = engine.Engine
-	// EngineConfig parameterizes a streaming engine.
+	// EngineConfig parameterizes a streaming engine; set Shards > 1 for
+	// hash-partitioned multi-pipeline sharding behind the engine.
 	EngineConfig = engine.Config
+)
+
+// Sharding types.
+type (
+	// ShardedPipeline hash-partitions flows across N independent
+	// pipelines by the stable flow key and closes intervals in lockstep
+	// with a deterministic cross-shard merge: reports are byte-identical
+	// to an unsharded pipeline over the same records.
+	ShardedPipeline = shard.ShardedPipeline
+	// ShardConfig parameterizes a sharded pipeline.
+	ShardConfig = shard.Config
 )
 
 // NewPipeline builds an extraction pipeline; zero-value Config fields take
@@ -111,8 +128,26 @@ type (
 // worker pool (0 = GOMAXPROCS).
 func NewPipeline(cfg Config) (*Pipeline, error) { return core.New(cfg) }
 
-// NewEngine builds and starts a streaming engine around a pipeline.
+// NewEngine builds and starts a streaming engine around a pipeline
+// (or, with cfg.Shards > 1, around a sharded pipeline).
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// NewShardedEngine builds and starts a streaming engine around a
+// hash-partitioned ShardedPipeline of the given shard count (0 =
+// GOMAXPROCS). It is NewEngine with cfg.Shards set.
+func NewShardedEngine(cfg EngineConfig, shards int) (*Engine, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cfg.Shards = shards
+	return engine.New(cfg)
+}
+
+// NewShardedPipeline builds a sharded pipeline: cfg.Shards independent
+// pipelines (default GOMAXPROCS) partitioned by flow key, merged
+// deterministically at every EndInterval. Call Close when done to
+// release the shards' worker pools.
+func NewShardedPipeline(cfg ShardConfig) (*ShardedPipeline, error) { return shard.New(cfg) }
 
 // ExtractOffline runs the extraction stage alone on a recorded interval:
 // prefilter recs with meta and mine the suspicious set (the post-mortem

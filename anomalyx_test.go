@@ -26,6 +26,7 @@ func TestFacadePipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	r := stats.NewRand(3)
 	benign := func() anomalyx.Flow {
 		return anomalyx.Flow{
@@ -166,6 +167,7 @@ func TestFacadeEntropyMetricPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	r := stats.NewRand(21)
 	benign := func() anomalyx.Flow {
 		return anomalyx.Flow{

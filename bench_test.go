@@ -276,6 +276,7 @@ func BenchmarkPipelineInterval(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer p.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.ProcessInterval(recs); err != nil {
@@ -303,11 +304,12 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	}
 	p, err := anomalyx.NewPipeline(anomalyx.Config{
 		Detector: anomalyx.DetectorConfig{Bins: 1024, TrainIntervals: 4},
-		Workers:  0, // GOMAXPROCS, resolved per call — tracks the -cpu sweep
+		Workers:  0, // GOMAXPROCS at construction — tracks the -cpu sweep
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer p.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.ObserveBatch(recs)

@@ -7,7 +7,12 @@
 //
 //	anomalyx -in trace.nf5 [-interval 15m] [-minsup N | -relsup 0.05]
 //	         [-miner apriori|fp-growth|eclat] [-prefilter union|intersection]
-//	         [-bins 1024] [-clones 3] [-votes 3] [-alpha 3] [-top 20] [-v]
+//	         [-bins 1024] [-clones 3] [-votes 3] [-alpha 3] [-top 20]
+//	         [-shards N] [-v]
+//
+// With -shards N > 1 the engine hash-partitions flows across N
+// independent pipelines and merges the per-shard state at every interval
+// close; reports are byte-identical to an unsharded run.
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 		votes    = flag.Int("votes", 3, "votes l required to keep a feature value")
 		alpha    = flag.Float64("alpha", 3, "MAD threshold multiplier")
 		train    = flag.Int("train", 12, "training intervals before alarms may fire")
+		shards   = flag.Int("shards", 1, "hash-partitioned pipeline shards (0 = GOMAXPROCS)")
 		top      = flag.Int("top", 20, "item-sets to print per alarm")
 		verbose  = flag.Bool("v", false, "print every interval, not only alarms")
 	)
@@ -72,10 +78,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng, err := anomalyx.NewEngine(anomalyx.EngineConfig{
+	engCfg := anomalyx.EngineConfig{
 		Pipeline:    cfg,
 		IntervalLen: *interval,
-	})
+	}
+	var eng *anomalyx.Engine
+	var err error
+	if *shards == 1 {
+		eng, err = anomalyx.NewEngine(engCfg)
+	} else {
+		eng, err = anomalyx.NewShardedEngine(engCfg, *shards)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -108,7 +121,17 @@ func main() {
 		}
 	}()
 
+	// Read in batches: SubmitBatch skips the per-record channel overhead
+	// (the intervals-closed return is consumed by the report goroutine
+	// via the Reports channel, so it is not needed here).
 	r := anomalyx.NewFlowReader(f)
+	batch := make([]anomalyx.Flow, 0, 512)
+	flush := func() {
+		if _, err := eng.SubmitBatch(batch); err != nil {
+			fatal(err)
+		}
+		batch = batch[:0]
+	}
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -117,8 +140,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		eng.Submit(rec)
+		batch = append(batch, rec)
+		if len(batch) == cap(batch) {
+			flush()
+		}
 	}
+	flush()
 	if err := eng.Close(); err != nil {
 		fatal(err)
 	}

@@ -40,6 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer p.Close()
 
 	var rep *anomalyx.Report
 	for idx := 0; idx <= target.Start; idx++ {

@@ -31,6 +31,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer p.Close()
 
 	r := stats.NewRand(7)
 	now := int64(1_700_000_000_000)

@@ -24,6 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer p.Close()
 
 	r := rand.New(rand.NewPCG(42, 43))
 	benign := func() anomalyx.Flow {

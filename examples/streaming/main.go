@@ -8,10 +8,14 @@
 // answers ad-hoc "what is frequent right now" queries — the streaming
 // extension of §V.
 //
-// The parsing loop mirrors the engine's interval-boundary grid and
-// consumes each interval's report before pushing newer flows into the
-// window, so every window query reflects exactly the traffic up to the
-// interval being reported.
+// The parsing loop submits flows in small batches with SubmitBatch,
+// whose return value says how many measurement intervals the batch
+// closed — the engine owns the boundary arithmetic, the consumer just
+// reads that many reports. Reports are consumed before the batch's
+// flows enter the window, so every window query reflects the traffic up
+// to the interval being reported (within one batch of slack). The
+// engine itself runs sharded: flows are hash-partitioned across two
+// pipelines and merged deterministically at each interval close.
 //
 // Run with: go run ./examples/streaming
 package main
@@ -60,13 +64,14 @@ func main() {
 
 	// The engine shards the stream into intervals and reports on a
 	// channel; its bounded buffers give backpressure against the parser.
-	eng, err := anomalyx.NewEngine(anomalyx.EngineConfig{
+	// Shards = 2: flows are hash-partitioned across two pipelines.
+	eng, err := anomalyx.NewShardedEngine(anomalyx.EngineConfig{
 		Pipeline: anomalyx.Config{
 			Detector:        anomalyx.DetectorConfig{Bins: 512, TrainIntervals: 6},
 			RelativeSupport: 0.05,
 		},
 		IntervalLen: cfg.IntervalLen,
-	})
+	}, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,30 +79,17 @@ func main() {
 	// Sliding window of the last 20k flows for ad-hoc queries.
 	window := eclat.NewWindow(20000)
 
-	// Consumer: parse flows off the wire and submit them to the engine,
-	// tracking the same boundary grid the engine uses so each interval's
-	// report is consumed while the window still holds that interval.
+	// Consumer: parse flows off the wire and submit them in batches.
+	// SubmitBatch reports how many intervals each batch closed, so the
+	// lockstep consume needs no boundary arithmetic of its own.
 	r := anomalyx.NewFlowReader(pr)
-	intervalMs := cfg.IntervalLen.Milliseconds()
-	var boundary int64 // end of the current interval; seeded by the first flow
+	batch := make([]anomalyx.Flow, 0, 256)
 	idx := 0
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			break
-		}
+	flush := func() {
+		crossed, err := eng.SubmitBatch(batch)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatal(err) // pipeline failed; SubmitBatch surfaces it
 		}
-		if boundary == 0 {
-			boundary = eng.BoundaryAfter(rec.Start) // the engine's own grid
-		}
-		crossed := 0
-		for rec.Start >= boundary {
-			crossed++
-			boundary += intervalMs
-		}
-		eng.Submit(rec) // the engine closes `crossed` intervals on this record
 		for i := 0; i < crossed; i++ {
 			rep, ok := <-eng.Reports()
 			if !ok {
@@ -106,8 +98,25 @@ func main() {
 			report(rep, window, idx)
 			idx++
 		}
-		window.Push(itemset.FromFlow(&rec))
+		for i := range batch {
+			window.Push(itemset.FromFlow(&batch[i]))
+		}
+		batch = batch[:0]
 	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		batch = append(batch, rec)
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	}
+	flush()
 	if err := eng.Close(); err != nil {
 		log.Fatal(err)
 	}

@@ -173,6 +173,39 @@ func (p *Pipeline) EndInterval() (*Report, error) {
 	return rep, nil
 }
 
+// Absorb folds other's in-progress interval into p: other's buffered
+// flows move to the end of p's flow buffer and other's detector-bank
+// clone histograms merge additively into p's (see detector.Bank.Absorb),
+// leaving other empty and ready for the next interval. Both pipelines
+// must share the detector configuration. This is the cross-shard merge:
+// because histogram clones with equal seeds are exact mergeable
+// sketches, a primary pipeline that absorbs N-1 siblings and then runs
+// EndInterval produces a report identical to one pipeline having
+// observed the whole stream — only the flow-buffer order differs (p's
+// records first, then other's), which no report field other than the
+// KeepSuspicious forensic slice depends on.
+func (p *Pipeline) Absorb(other *Pipeline) error {
+	if other == p {
+		return fmt.Errorf("core: pipeline cannot absorb itself")
+	}
+	// Lock in caller order; absorbs fan in toward one primary (the shard
+	// merge), so no cycle can form.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	if err := p.bank.Absorb(other.bank); err != nil {
+		return err
+	}
+	p.buffer = append(p.buffer, other.buffer...)
+	other.buffer = other.buffer[:0]
+	return nil
+}
+
+// Close releases the detector bank's worker pool. It is idempotent. The
+// pipeline must not observe flows or close intervals after Close.
+func (p *Pipeline) Close() { p.bank.Close() }
+
 // ProcessInterval is the batch convenience: ObserveBatch all recs, then
 // EndInterval.
 func (p *Pipeline) ProcessInterval(recs []flow.Record) (*Report, error) {

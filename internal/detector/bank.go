@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -14,31 +15,47 @@ type BankConfig struct {
 	// Features lists the monitored features; defaults to the paper's
 	// five (srcIP, dstIP, srcPort, dstPort, packets).
 	Features []flow.FeatureKind
+	// Workers sizes the bank's persistent worker pool. NewBank spawns
+	// the pool goroutines once — they live for the bank's lifetime, fed
+	// by a task channel, and are shut down by Close — so ObserveBatch and
+	// EndInterval pay no per-call spawn cost. 0 means GOMAXPROCS at
+	// construction time; 1 keeps the bank fully sequential (no pool
+	// goroutines at all).
+	Workers int
 	// Template provides the shared per-detector parameters; its Feature
 	// field is overwritten per detector.
 	Template Config
-	// Workers bounds the per-call goroutine fan-out ObserveBatch and
-	// EndInterval use to run the d detectors and their n histogram
-	// clones concurrently (workers are spawned per call, not pooled
-	// across calls). 0 means GOMAXPROCS (resolved at call time, so it
-	// tracks -cpu sweeps); 1 forces the sequential path.
-	Workers int
 }
 
 // Bank runs one detector per traffic feature and consolidates their
 // alarm meta-data by union (Fig. 3). Its methods are safe for concurrent
 // use: observes and interval closes are linearized by an internal mutex,
-// while the batch work itself fans out over up to Workers goroutines
-// spawned for the duration of the call.
+// while the batch work itself fans out over the persistent worker pool.
+// Call Close when done with a pooled bank to release its goroutines; a
+// closed bank must not observe further batches.
 type Bank struct {
 	mu        sync.Mutex
 	detectors []*Detector
+	units     []cloneUnit // the (detector, clone) fan-out tasks, fixed at construction
 	workers   int
+
+	// tasks feeds the persistent pool; nil when workers == 1 (sequential
+	// bank, no goroutines).
+	tasks     chan func()
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
 }
 
-// minParallelBatch is the batch size below which fan-out overhead
-// exceeds the win and ObserveBatch stays sequential.
+// minParallelBatch is the batch size below which the pool's handoff and
+// wait overhead exceeds the win and ObserveBatch stays sequential.
 const minParallelBatch = 256
+
+// cloneUnit is one schedulable unit of batch work: a single histogram
+// clone of a single feature detector.
+type cloneUnit struct {
+	d     *Detector
+	clone int
+}
 
 // BankResult is the outcome of one interval across all features.
 type BankResult struct {
@@ -52,13 +69,17 @@ type BankResult struct {
 	Meta MetaData
 }
 
-// NewBank builds one detector per feature.
+// NewBank builds one detector per feature and starts the worker pool.
 func NewBank(cfg BankConfig) (*Bank, error) {
 	feats := cfg.Features
 	if len(feats) == 0 {
 		feats = flow.DetectorFeatures[:]
 	}
-	b := &Bank{workers: cfg.Workers}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &Bank{workers: workers}
 	for _, f := range feats {
 		dcfg := cfg.Template
 		dcfg.Feature = f
@@ -67,6 +88,21 @@ func NewBank(cfg BankConfig) (*Bank, error) {
 			return nil, err
 		}
 		b.detectors = append(b.detectors, d)
+		for c := range d.cur {
+			b.units = append(b.units, cloneUnit{d, c})
+		}
+	}
+	if workers > 1 {
+		b.tasks = make(chan func(), 4*workers)
+		b.workerWG.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer b.workerWG.Done()
+				for fn := range b.tasks {
+					fn()
+				}
+			}()
+		}
 	}
 	return b, nil
 }
@@ -74,12 +110,39 @@ func NewBank(cfg BankConfig) (*Bank, error) {
 // Detectors exposes the underlying per-feature detectors (read-only use).
 func (b *Bank) Detectors() []*Detector { return b.detectors }
 
-// poolSize resolves the effective worker count for one call.
-func (b *Bank) poolSize() int {
-	if b.workers > 0 {
-		return b.workers
+// Workers returns the effective worker-pool size (1 = sequential).
+func (b *Bank) Workers() int { return b.workers }
+
+// Close shuts the worker pool down and waits for its goroutines to
+// exit. It is idempotent. The bank must not be used after Close.
+func (b *Bank) Close() {
+	b.closeOnce.Do(func() {
+		if b.tasks != nil {
+			close(b.tasks)
+		}
+		b.workerWG.Wait()
+	})
+}
+
+// runTasks executes n tasks produced by gen(i) on the pool and waits for
+// all of them; with a sequential bank it just runs them inline.
+func (b *Bank) runTasks(n int, gen func(i int) func()) {
+	if b.tasks == nil {
+		for i := 0; i < n; i++ {
+			gen(i)()
+		}
+		return
 	}
-	return runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		fn := gen(i)
+		b.tasks <- func() {
+			defer wg.Done()
+			fn()
+		}
+	}
+	wg.Wait()
 }
 
 // Observe feeds one flow into every feature detector.
@@ -101,42 +164,16 @@ func (b *Bank) ObserveBatch(recs []flow.Record) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	workers := b.poolSize()
-	if workers <= 1 || len(recs) < minParallelBatch {
+	if b.tasks == nil || len(recs) < minParallelBatch {
 		for _, d := range b.detectors {
 			d.ObserveBatch(recs)
 		}
 		return
 	}
-	type task struct {
-		d     *Detector
-		clone int
-	}
-	ntasks := 0
-	for _, d := range b.detectors {
-		ntasks += len(d.cur)
-	}
-	if workers > ntasks {
-		workers = ntasks
-	}
-	tasks := make(chan task, ntasks)
-	for _, d := range b.detectors {
-		for c := range d.cur {
-			tasks <- task{d, c}
-		}
-	}
-	close(tasks)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				t.d.observeClone(t.clone, recs)
-			}
-		}()
-	}
-	wg.Wait()
+	b.runTasks(len(b.units), func(i int) func() {
+		u := b.units[i]
+		return func() { u.d.observeClone(u.clone, recs) }
+	})
 }
 
 // EndInterval closes the interval on every detector and merges their
@@ -147,31 +184,9 @@ func (b *Bank) EndInterval() BankResult {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	results := make([]Result, len(b.detectors))
-	if workers := b.poolSize(); workers <= 1 {
-		for i, d := range b.detectors {
-			results[i] = d.EndInterval()
-		}
-	} else {
-		if workers > len(b.detectors) {
-			workers = len(b.detectors)
-		}
-		idx := make(chan int, len(b.detectors))
-		for i := range b.detectors {
-			idx <- i
-		}
-		close(idx)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					results[i] = b.detectors[i].EndInterval()
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	b.runTasks(len(b.detectors), func(i int) func() {
+		return func() { results[i] = b.detectors[i].EndInterval() }
+	})
 
 	res := BankResult{Meta: NewMetaData()}
 	for _, r := range results {
@@ -185,4 +200,33 @@ func (b *Bank) EndInterval() BankResult {
 		}
 	}
 	return res
+}
+
+// Absorb folds other's in-progress interval into b — each detector
+// absorbs its counterpart's clone histograms — and resets other's
+// current interval (see Detector.Absorb). Both banks must monitor the
+// same features with the same detector parameters. It is the cross-shard
+// merge step: shard banks accumulate partitions of the stream, the
+// primary bank absorbs them at the interval boundary and runs detection
+// over the union, yielding exactly the unsharded detector state.
+func (b *Bank) Absorb(other *Bank) error {
+	if other == b {
+		return fmt.Errorf("detector: bank cannot absorb itself")
+	}
+	// Lock in caller order: Absorb is only ever fanned in toward a single
+	// primary bank (shard merges), so no cycle can form.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	if len(b.detectors) != len(other.detectors) {
+		return fmt.Errorf("detector: absorb across banks with %d and %d detectors",
+			len(b.detectors), len(other.detectors))
+	}
+	for i, d := range b.detectors {
+		if err := d.Absorb(other.detectors[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

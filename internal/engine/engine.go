@@ -5,12 +5,18 @@
 //
 // The engine shards the incoming stream into measurement intervals by
 // flow start time — the boundary grid is aligned to IntervalLen, like a
-// router's export clock — groups records into batches to amortize
-// per-record pipeline overhead via Pipeline.ObserveBatch, and closes an
-// interval (detection + extraction) whenever a record crosses the
-// current boundary. Both channels are bounded, so a slow consumer
-// exerts backpressure all the way back to Submit instead of growing an
-// unbounded queue.
+// router's export clock. Boundary crossings are detected on the submit
+// side, so SubmitBatch can synchronously return how many intervals a
+// batch closed (lockstep consumers need no boundary arithmetic of their
+// own), while the processing goroutine just executes the resulting
+// record/cut stream: records are grouped into batches to amortize
+// per-record pipeline overhead via ObserveBatch, and each cut closes an
+// interval (detection + extraction). Both channels are bounded, so a
+// slow consumer exerts backpressure all the way back to Submit instead
+// of growing an unbounded queue. With Config.Shards > 1 the engine
+// drives a hash-partitioned shard.ShardedPipeline instead of a single
+// pipeline, parallelizing ingestion across shards with a deterministic
+// cross-shard merge at each interval close.
 //
 //	eng, _ := engine.New(engine.Config{IntervalLen: 15 * time.Minute})
 //	go func() {
@@ -18,8 +24,8 @@
 //			handle(rep)
 //		}
 //	}()
-//	for rec := range source {
-//		eng.Submit(rec)
+//	for recs := range source {
+//		eng.SubmitBatch(recs)
 //	}
 //	if err := eng.Close(); err != nil {
 //		log.Fatal(err)
@@ -33,6 +39,7 @@ import (
 
 	"anomalyx/internal/core"
 	"anomalyx/internal/flow"
+	"anomalyx/internal/shard"
 )
 
 // Config parameterizes a streaming engine.
@@ -40,15 +47,22 @@ type Config struct {
 	// Pipeline configures the underlying extraction pipeline; zero-value
 	// fields take the paper's defaults (see core.Config).
 	Pipeline core.Config
+	// Shards selects hash-partitioned multi-pipeline sharding: when > 1
+	// the engine drives a shard.ShardedPipeline of that many pipelines
+	// (flows partitioned by the stable hash of the flow key, reports
+	// merged deterministically at each interval close). 0 or 1 runs a
+	// single pipeline.
+	Shards int
 	// IntervalLen is the measurement-interval length Delta (default the
 	// paper's 15 minutes). Interval boundaries are aligned to multiples
 	// of IntervalLen from the epoch, seeded by the first record.
 	IntervalLen time.Duration
-	// BatchSize is the number of records grouped into one ObserveBatch
-	// call (default 512).
+	// BatchSize is the number of Submit records grouped into one
+	// ObserveBatch call (default 512). SubmitBatch batches bypass this
+	// grouping — they are already batches.
 	BatchSize int
 	// Buffer is the input-channel capacity — the backpressure bound.
-	// Submit blocks once Buffer records are queued (default 8192).
+	// Submit blocks once Buffer messages are queued (default 8192).
 	Buffer int
 }
 
@@ -65,18 +79,49 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Engine is the streaming front end. Submit may be called from multiple
-// goroutines; Reports delivers interval reports in interval order.
+// Sink is the extraction backend an engine drives: a single
+// core.Pipeline or a hash-partitioned shard.ShardedPipeline. Both
+// accumulate observed flows into the current measurement interval and
+// close it on EndInterval.
+type Sink interface {
+	ObserveBatch([]flow.Record)
+	EndInterval() (*core.Report, error)
+	Close()
+}
+
+// msg is one unit of the submit→process stream: a single record, a
+// pre-formed batch, or an interval-cut marker. Cuts are generated on the
+// submit side, so their position in the channel order is authoritative —
+// the processor closes intervals exactly where the submitters crossed
+// the boundary grid. Consecutive cuts collapse into one counted message:
+// a quiet gap spanning thousands of empty intervals costs one channel
+// slot, so a lockstep consumer (submit, then read the returned number of
+// reports) cannot wedge the input buffer no matter how long the gap.
+type msg struct {
+	rec  flow.Record
+	recs []flow.Record // batch; nil for single-record and cut messages
+	cuts int           // close this many intervals; no payload
+}
+
+// Engine is the streaming front end. Submit and SubmitBatch may be
+// called from multiple goroutines; Reports delivers interval reports in
+// interval order.
 //
 // On a pipeline error the engine settles Err, closes Reports
 // immediately — even while producers are still submitting — and
 // silently discards further input until Close, so a consumer on a live
 // stream learns about the failure right away.
 type Engine struct {
-	cfg Config
-	p   *core.Pipeline
+	cfg  Config
+	sink Sink
+	p    *core.Pipeline // the unsharded pipeline; nil when Shards > 1
 
-	in   chan flow.Record
+	// submitMu guards the boundary grid and orders messages from
+	// concurrent producers into the input channel.
+	submitMu sync.Mutex
+	boundary int64 // end of the current interval; 0 until the first record
+
+	in   chan msg
 	out  chan *core.Report
 	fin  chan struct{} // closed once err is settled, before out closes
 	done chan struct{} // closed when the processing goroutine exits
@@ -93,17 +138,25 @@ func New(cfg Config) (*Engine, error) {
 		// to a zero-length boundary grid.
 		return nil, fmt.Errorf("engine: interval length %v below 1ms resolution", cfg.IntervalLen)
 	}
-	p, err := core.New(cfg.Pipeline)
-	if err != nil {
-		return nil, err
-	}
 	e := &Engine{
 		cfg:  cfg,
-		p:    p,
-		in:   make(chan flow.Record, cfg.Buffer),
+		in:   make(chan msg, cfg.Buffer),
 		out:  make(chan *core.Report, 16),
 		fin:  make(chan struct{}),
 		done: make(chan struct{}),
+	}
+	if cfg.Shards > 1 {
+		sp, err := shard.New(shard.Config{Shards: cfg.Shards, Pipeline: cfg.Pipeline})
+		if err != nil {
+			return nil, err
+		}
+		e.sink = sp
+	} else {
+		p, err := core.New(cfg.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		e.p, e.sink = p, p
 	}
 	go e.run()
 	return e, nil
@@ -115,22 +168,105 @@ func (e *Engine) Config() Config { return e.cfg }
 // BoundaryAfter returns the end of the measurement interval containing
 // timestamp ms (Unix milliseconds) on the engine's boundary grid —
 // intervals are aligned to multiples of IntervalLen from the epoch.
-// Callers that mirror the engine's interval sharding (to line external
-// state up with the reports) must use this rather than re-deriving the
-// grid.
 func (e *Engine) BoundaryAfter(ms int64) int64 {
 	step := e.cfg.IntervalLen.Milliseconds()
 	return ms - ms%step + step
 }
 
-// Pipeline exposes the underlying extraction pipeline (read-only use;
-// mutating it concurrently with a running engine races with the
-// processing goroutine).
+// Sink exposes the extraction backend (read-only use; mutating it
+// concurrently with a running engine races with the processing
+// goroutine).
+func (e *Engine) Sink() Sink { return e.sink }
+
+// Pipeline exposes the underlying unsharded extraction pipeline; it is
+// nil when the engine runs sharded (Config.Shards > 1) — use Sink then.
 func (e *Engine) Pipeline() *core.Pipeline { return e.p }
+
+// maxGapIntervals bounds how many empty intervals one timestamp gap may
+// close. A single corrupt or far-future flow timestamp would otherwise
+// make the processor grind through millions of empty detection rounds
+// and flood Reports; past the bound the engine treats the gap as a
+// clock jump instead — close the current interval once and re-seed the
+// boundary grid from the new timestamp, exactly as it was seeded by the
+// first record.
+const maxGapIntervals = 4096
+
+// advanceLocked seeds or advances the boundary grid past timestamp ts,
+// enqueueing one counted cut marker covering every crossed boundary; it
+// returns the number of cuts. submitMu must be held.
+func (e *Engine) advanceLocked(ts int64) int {
+	if e.boundary == 0 {
+		e.boundary = e.BoundaryAfter(ts)
+		return 0
+	}
+	if ts < e.boundary {
+		return 0
+	}
+	step := e.cfg.IntervalLen.Milliseconds()
+	n := (ts-e.boundary)/step + 1
+	if n > maxGapIntervals {
+		// Clock jump: one cut for the interval in progress, fresh grid.
+		e.boundary = e.BoundaryAfter(ts)
+		n = 1
+	} else {
+		e.boundary += n * step
+	}
+	e.in <- msg{cuts: int(n)}
+	return int(n)
+}
 
 // Submit queues one flow record, blocking when the input buffer is full
 // (backpressure). It must not be called after Close.
-func (e *Engine) Submit(rec flow.Record) { e.in <- rec }
+func (e *Engine) Submit(rec flow.Record) {
+	e.submitMu.Lock()
+	defer e.submitMu.Unlock()
+	e.advanceLocked(rec.Start)
+	e.in <- msg{rec: rec}
+}
+
+// SubmitBatch queues a batch of flow records in one step — collectors
+// that already batch skip the per-record channel overhead — and returns
+// the number of measurement intervals the batch closed: boundary
+// crossings are detected here, on the submit side, so lockstep consumers
+// can read exactly that many reports without mirroring the engine's
+// boundary arithmetic. The records are copied; the caller may reuse
+// recs. Like Submit it blocks for backpressure and must not be called
+// after Close. The returned error is the pipeline error that has
+// terminated the engine, if any (further input is discarded once it is
+// set); the cut count is still returned for bookkeeping.
+//
+// A lockstep consumer may read exactly intervalsClosed reports after
+// each call from the same goroutine: SubmitBatch enqueues at most two
+// messages per record that crosses an interval boundary (gaps of any
+// length collapse into one counted cut), so with the default Buffer a
+// single batch would need thousands of boundary-crossing records to
+// fill the input channel before returning. Split such batches — or
+// consume reports concurrently — if records are that sparse.
+func (e *Engine) SubmitBatch(recs []flow.Record) (intervalsClosed int, err error) {
+	if len(recs) == 0 {
+		return 0, e.Err()
+	}
+	buf := make([]flow.Record, len(recs))
+	copy(buf, recs)
+	e.submitMu.Lock()
+	defer e.submitMu.Unlock()
+	closed := 0
+	start := 0
+	for i := range buf {
+		if e.boundary == 0 || buf[i].Start >= e.boundary {
+			// Flush the records before the crossing, then cut.
+			if i > start {
+				e.in <- msg{recs: buf[start:i]}
+				start = i
+			}
+			closed += e.advanceLocked(buf[i].Start)
+		}
+	}
+	if start < len(buf) {
+		e.in <- msg{recs: buf[start:]}
+	}
+	return closed, e.Err()
+}
 
 // Reports returns the channel of per-interval reports. It is closed
 // after the final interval has been emitted (following Close) or after
@@ -139,11 +275,12 @@ func (e *Engine) Reports() <-chan *core.Report { return e.out }
 
 // Close ends the stream: the current partial interval is flushed, its
 // report emitted, and the Reports channel closed. Close blocks until the
-// processing goroutine has drained and returns the first pipeline error,
-// if any. It is idempotent.
+// processing goroutine has drained, releases the pipeline's worker
+// pools, and returns the first pipeline error, if any. It is idempotent.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() { close(e.in) })
 	<-e.done
+	e.sink.Close()
 	return e.err
 }
 
@@ -176,19 +313,19 @@ func (e *Engine) run() {
 	}
 }
 
-// process batches records, cuts intervals at the time-boundary grid,
-// and emits reports; it returns the first pipeline error.
+// process executes the record/cut stream: it groups single records into
+// batches, forwards pre-formed batches as-is, and closes an interval at
+// every cut marker; it returns the first pipeline error.
 func (e *Engine) process() error {
 	batch := make([]flow.Record, 0, e.cfg.BatchSize)
-	var boundary int64 // end of the current interval; 0 until the first record
 
 	flushBatch := func() {
-		e.p.ObserveBatch(batch)
+		e.sink.ObserveBatch(batch)
 		batch = batch[:0]
 	}
 	endInterval := func() error {
 		flushBatch()
-		rep, err := e.p.EndInterval()
+		rep, err := e.sink.EndInterval()
 		if err != nil {
 			return err
 		}
@@ -196,20 +333,24 @@ func (e *Engine) process() error {
 		return nil
 	}
 
-	intervalMs := e.cfg.IntervalLen.Milliseconds()
-	for rec := range e.in {
-		if boundary == 0 {
-			boundary = e.BoundaryAfter(rec.Start)
-		}
-		for rec.Start >= boundary {
-			if err := endInterval(); err != nil {
-				return err
+	for m := range e.in {
+		switch {
+		case m.cuts > 0:
+			for i := 0; i < m.cuts; i++ {
+				if err := endInterval(); err != nil {
+					return err
+				}
 			}
-			boundary += intervalMs
-		}
-		batch = append(batch, rec)
-		if len(batch) >= e.cfg.BatchSize {
+		case m.recs != nil:
+			// Pre-formed batch: flush pending singles first to preserve
+			// submission order, then observe it whole.
 			flushBatch()
+			e.sink.ObserveBatch(m.recs)
+		default:
+			batch = append(batch, m.rec)
+			if len(batch) >= e.cfg.BatchSize {
+				flushBatch()
+			}
 		}
 	}
 	return endInterval()

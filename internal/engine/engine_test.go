@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -249,5 +250,333 @@ func TestEngineCloseIdempotent(t *testing.T) {
 	<-done
 	if n != 1 {
 		t.Fatalf("empty stream emitted %d reports, want 1", n)
+	}
+}
+
+// TestSubmitBatchMatchesSubmit verifies the batch path end to end:
+// chunked SubmitBatch produces exactly the reports of per-record Submit
+// over the same stream, and the returned intervals-closed counts sum to
+// the number of boundary crossings.
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	stream := makeStream(3, 8, 3000, 6)
+
+	collect := func(submit func(*Engine)) []*core.Report {
+		t.Helper()
+		eng, err := New(Config{Pipeline: testConfig(0), IntervalLen: intervalLen, BatchSize: 700})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*core.Report
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for rep := range eng.Reports() {
+				got = append(got, rep)
+			}
+		}()
+		submit(eng)
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		return got
+	}
+
+	want := collect(func(eng *Engine) {
+		for _, rec := range stream {
+			eng.Submit(rec)
+		}
+	})
+
+	var closedTotal int
+	got := collect(func(eng *Engine) {
+		// Deliberately awkward chunk size so batches straddle interval
+		// boundaries and single records interleave with batches.
+		const chunk = 1217
+		for i := 0; i < len(stream); i += chunk {
+			end := min(i+chunk, len(stream))
+			n, err := eng.SubmitBatch(stream[i:end])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			closedTotal += n
+		}
+	})
+
+	if len(got) != len(want) {
+		t.Fatalf("batch path emitted %d reports, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("interval %d: batch-path report diverged\ngot:  %+v\nwant: %+v", i, got[i], want[i])
+		}
+	}
+	// Every report except the Close flush corresponds to one returned cut.
+	if closedTotal != len(want)-1 {
+		t.Fatalf("SubmitBatch counted %d closed intervals, want %d", closedTotal, len(want)-1)
+	}
+}
+
+// TestSubmitBatchCallerMayReuseSlice pins the copy semantics: mutating
+// the submitted slice after SubmitBatch returns must not corrupt the
+// stream (run under -race to catch aliasing).
+func TestSubmitBatchCallerMayReuseSlice(t *testing.T) {
+	eng, err := New(Config{Pipeline: testConfig(1), IntervalLen: intervalLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range eng.Reports() {
+			total += rep.TotalFlows
+		}
+	}()
+	base := int64(1_700_000_000_000)
+	buf := make([]flow.Record, 100)
+	for round := 0; round < 50; round++ {
+		for i := range buf {
+			buf[i] = flow.Record{SrcAddr: uint32(round), DstPort: uint16(i), Start: base}
+		}
+		if _, err := eng.SubmitBatch(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if want := 50 * len(buf); total != want {
+		t.Fatalf("reports account for %d flows, want %d", total, want)
+	}
+}
+
+// TestSubmitBatchConcurrentProducers hammers SubmitBatch from many
+// goroutines at once (run under -race). Cuts are counted by exactly the
+// producer that enqueued them, so the per-producer closed counts plus
+// the Close flush must account for every emitted report, and the
+// reports for every submitted flow.
+func TestSubmitBatchConcurrentProducers(t *testing.T) {
+	eng, err := New(Config{Pipeline: testConfig(4), IntervalLen: intervalLen, Buffer: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 8
+	const batches = 40
+	const perBatch = 250
+	base := int64(1_700_000_000_000)
+	base -= base % intervalLen.Milliseconds()
+
+	var reports, total int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range eng.Reports() {
+			reports++
+			total += rep.TotalFlows
+		}
+	}()
+
+	var closed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for i := 0; i < producers; i++ {
+		go func(seed uint64) {
+			defer wg.Done()
+			r := stats.NewRand(seed)
+			buf := make([]flow.Record, perBatch)
+			for j := 0; j < batches; j++ {
+				for k := range buf {
+					buf[k] = flow.Record{
+						SrcAddr: uint32(r.IntN(10000)), DstPort: uint16(r.IntN(1000)),
+						Protocol: 6, Packets: 1, Bytes: 100,
+						// Timestamps wander forward over ~3 intervals.
+						Start: base + int64(j)*intervalLen.Milliseconds()/16 + int64(r.IntN(1000)),
+					}
+				}
+				n, err := eng.SubmitBatch(buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				closed.Add(int64(n))
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if want := producers * batches * perBatch; total != want {
+		t.Fatalf("reports account for %d flows, want %d", total, want)
+	}
+	if want := int(closed.Load()) + 1; reports != want {
+		t.Fatalf("engine emitted %d reports, want %d (sum of closed counts + final flush)", reports, want)
+	}
+}
+
+// TestShardedEngineMatchesUnsharded runs the same stream through an
+// unsharded and a 4-shard engine: the report sequences must be
+// identical (the cross-shard merge determinism contract at the engine
+// level).
+func TestShardedEngineMatchesUnsharded(t *testing.T) {
+	stream := makeStream(5, 8, 3000, 6)
+
+	run := func(shards int) []*core.Report {
+		t.Helper()
+		eng, err := New(Config{Pipeline: testConfig(1), Shards: shards, IntervalLen: intervalLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*core.Report
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for rep := range eng.Reports() {
+				got = append(got, rep)
+			}
+		}()
+		for i := 0; i < len(stream); i += 900 {
+			end := min(i+900, len(stream))
+			if _, err := eng.SubmitBatch(stream[i:end]); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		return got
+	}
+
+	want := run(1)
+	got := run(4)
+	if len(got) != len(want) {
+		t.Fatalf("sharded engine emitted %d reports, want %d", len(got), len(want))
+	}
+	alarmed := false
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("interval %d: sharded report diverged\ngot:  %+v\nwant: %+v", i, got[i], want[i])
+		}
+		alarmed = alarmed || want[i].Alarm
+	}
+	if !alarmed {
+		t.Error("no alarm in the stream; extraction path not compared")
+	}
+}
+
+// benchStream is a single-interval stream for the submit-path benches.
+func benchStream(n int) []flow.Record {
+	r := stats.NewRand(9)
+	base := int64(1_700_000_000_000)
+	base -= base % intervalLen.Milliseconds()
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		recs[i] = flow.Record{
+			SrcAddr: uint32(r.IntN(50000)), DstPort: uint16(r.IntN(1500)),
+			Protocol: 6, Packets: 1, Bytes: 100,
+			Start: base + int64(i)%intervalLen.Milliseconds(),
+		}
+	}
+	return recs
+}
+
+// BenchmarkEngineSubmit measures the per-record channel path.
+func BenchmarkEngineSubmit(b *testing.B) {
+	recs := benchStream(20000)
+	eng, err := New(Config{Pipeline: testConfig(1), IntervalLen: intervalLen})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range eng.Reports() {
+		}
+	}()
+	b.SetBytes(int64(len(recs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			eng.Submit(recs[j])
+		}
+	}
+	b.StopTimer()
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineSubmitBatch measures the batched submit path over the
+// same stream (one copy + a handful of channel messages per batch).
+func BenchmarkEngineSubmitBatch(b *testing.B) {
+	recs := benchStream(20000)
+	eng, err := New(Config{Pipeline: testConfig(1), IntervalLen: intervalLen})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range eng.Reports() {
+		}
+	}()
+	b.SetBytes(int64(len(recs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < len(recs); j += 512 {
+			end := min(j+512, len(recs))
+			if _, err := eng.SubmitBatch(recs[j:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEngineClockJump pins the corrupt-timestamp guard: a record with a
+// far-future Start must not make the engine close millions of empty
+// intervals — the gap collapses into one cut and the boundary grid
+// re-seeds from the new timestamp.
+func TestEngineClockJump(t *testing.T) {
+	eng, err := New(Config{Pipeline: testConfig(1), IntervalLen: intervalLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range eng.Reports() {
+			reports++
+		}
+	}()
+	base := int64(1_700_000_000_000)
+	eng.Submit(flow.Record{DstPort: 1, Start: base})
+	// ~136 years ahead — far beyond maxGapIntervals at any sane length.
+	jump := base + int64(4_300_000_000)*1000
+	n, err := eng.SubmitBatch([]flow.Record{{DstPort: 2, Start: jump}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("clock jump closed %d intervals, want 1", n)
+	}
+	// A record just after the jump lands on the re-seeded grid without
+	// further cuts.
+	if n, _ := eng.SubmitBatch([]flow.Record{{DstPort: 3, Start: jump + 1}}); n != 0 {
+		t.Fatalf("record on re-seeded grid closed %d intervals, want 0", n)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if reports != 2 {
+		t.Fatalf("engine emitted %d reports, want 2 (jump cut + final flush)", reports)
 	}
 }

@@ -183,6 +183,7 @@ func VotingAblation(tr *TraceRun) (*VotingAblationResult, error) {
 			}
 			res = bank.EndInterval()
 		}
+		bank.Close()
 		count := res.Meta.Count()
 		out.L = append(out.L, l)
 		out.MetaCount = append(out.MetaCount, count)

@@ -103,6 +103,7 @@ func RunWith(tc tracegen.Config, pc core.Config, s Scale) (*TraceRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer p.Close()
 	features := pc.Features
 	if len(features) == 0 {
 		features = flow.DetectorFeatures[:]

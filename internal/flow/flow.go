@@ -143,6 +143,18 @@ func (r *Record) SetFeature(k FeatureKind, v uint64) {
 	}
 }
 
+// Key folds the 5-tuple into a stable 64-bit flow key: equal tuples give
+// equal keys in every run and on every platform, so it is a valid
+// partitioning key for hash-sharded deployments (internal/shard). The
+// fold is a fixed-constant multiply-add, not a hash — partitioners
+// should pass it through a seeded hash.Func before reducing to a shard
+// index.
+func (r *Record) Key() uint64 {
+	k := uint64(r.SrcAddr)<<32 | uint64(r.DstAddr)
+	return k*0x9e3779b97f4a7c15 +
+		(uint64(r.SrcPort)<<24 | uint64(r.DstPort)<<8 | uint64(r.Protocol))
+}
+
 // Duration returns the flow duration in milliseconds (End - Start); flows
 // with End < Start report 0.
 func (r *Record) Duration() int64 {

@@ -93,6 +93,47 @@ func (h *Histogram) ValuesInBin(b int) []uint64 {
 	return out
 }
 
+// Merge folds other's current-interval observations into h: per-bin
+// counts add and tracked value maps union (summing per-value counts).
+// Histograms are exact mergeable sketches — when both were built with
+// the same hash function, the merged state is identical to having added
+// every observation to h directly, which is what makes cross-shard
+// report merges byte-identical to an unsharded run. Merge panics when
+// the bin counts or hash functions differ, or when exactly one side
+// tracks values (the merged value map would silently lose observations).
+// other is left unchanged.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.counts) != len(other.counts) {
+		panic("histogram: Merge over different bin counts")
+	}
+	if h.fn != other.fn {
+		panic("histogram: Merge over different hash functions")
+	}
+	if (h.values == nil) != (other.values == nil) {
+		panic("histogram: Merge with mismatched value tracking")
+	}
+	for b, n := range other.counts {
+		h.counts[b] += n
+	}
+	h.total += other.total
+	if h.values == nil {
+		return
+	}
+	for b, src := range other.values {
+		if src == nil {
+			continue
+		}
+		dst := h.values[b]
+		if dst == nil {
+			dst = make(map[uint64]uint64, len(src))
+			h.values[b] = dst
+		}
+		for v, n := range src {
+			dst[v] += n
+		}
+	}
+}
+
 // Reset clears all counts and value maps for the next interval.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

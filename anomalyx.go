@@ -124,8 +124,9 @@ type (
 // NewPipeline builds an extraction pipeline; zero-value Config fields take
 // the paper's defaults (five features, k=1024, n=l=3, alpha=3, modified
 // Apriori, union prefilter, minimum support 5% of the suspicious flows).
-// Set Config.Workers to run the detector bank's batched ingestion on a
-// worker pool (0 = GOMAXPROCS).
+// Set Config.Workers to run the detector bank's batched ingestion and the
+// extraction stage's prefilter scan on a worker pool (0 = GOMAXPROCS);
+// parallel reports are byte-identical to sequential ones.
 func NewPipeline(cfg Config) (*Pipeline, error) { return core.New(cfg) }
 
 // NewEngine builds and starts a streaming engine around a pipeline
@@ -134,9 +135,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // NewShardedEngine builds and starts a streaming engine around a
 // hash-partitioned ShardedPipeline of the given shard count (0 =
-// GOMAXPROCS). It is NewEngine with cfg.Shards set.
+// GOMAXPROCS; negative counts are rejected, as everywhere in the
+// sharding API). It is NewEngine with cfg.Shards set.
 func NewShardedEngine(cfg EngineConfig, shards int) (*Engine, error) {
-	if shards <= 0 {
+	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	cfg.Shards = shards
@@ -151,7 +153,8 @@ func NewShardedPipeline(cfg ShardConfig) (*ShardedPipeline, error) { return shar
 
 // ExtractOffline runs the extraction stage alone on a recorded interval:
 // prefilter recs with meta and mine the suspicious set (the post-mortem
-// alarm-investigation mode).
+// alarm-investigation mode). cfg.Workers parallelizes the prefilter scan
+// with output identical to the sequential one.
 func ExtractOffline(cfg Config, recs []Flow, meta MetaData) (*Report, error) {
 	return core.ExtractOffline(cfg, recs, meta)
 }
@@ -163,6 +166,12 @@ func NewMetaData() MetaData { return detector.NewMetaData() }
 func Apriori() Miner  { return apriori.New() }
 func FPGrowth() Miner { return fpgrowth.New() }
 func Eclat() Miner    { return eclat.New() }
+
+// EclatParallel returns an Eclat miner that fans the depth-first
+// tid-list search out over first-item equivalence classes on a pool of
+// workers goroutines (0 = GOMAXPROCS, 1 = sequential). The mining
+// result is byte-identical to the sequential Eclat on every input.
+func EclatParallel(workers int) Miner { return eclat.New().Parallel(workers) }
 
 // PrefilterUnion returns the paper's union prefilter strategy.
 func PrefilterUnion() prefilter.Strategy { return prefilter.Union{} }

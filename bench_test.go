@@ -9,6 +9,7 @@
 package anomalyx_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -208,6 +209,66 @@ func benchPrefilter(b *testing.B, s prefilter.Strategy) {
 
 func BenchmarkPrefilterUnion(b *testing.B)        { benchPrefilter(b, prefilter.Union{}) }
 func BenchmarkPrefilterIntersection(b *testing.B) { benchPrefilter(b, prefilter.Intersection{}) }
+
+// BenchmarkExtract measures the extraction stage alone — chunked
+// parallel prefilter plus mining — via ExtractOffline over a 50k-flow
+// interval with an injected dstPort flood. workers=1 is the sequential
+// baseline; workers=0 fans the prefilter scan out over GOMAXPROCS
+// chunks (the output is byte-identical, so the sweep measures pure
+// scan parallelism; run with -cpu 1,4 to contrast).
+func BenchmarkExtract(b *testing.B) {
+	r := stats.NewRand(13)
+	recs := make([]anomalyx.Flow, 50000)
+	for i := range recs {
+		recs[i] = anomalyx.Flow{
+			SrcAddr: uint32(r.IntN(50000)), DstAddr: uint32(r.IntN(2000)),
+			SrcPort: uint16(r.IntN(60000)), DstPort: uint16(r.IntN(1500)),
+			Protocol: 6, Packets: uint32(1 + r.IntN(20)), Bytes: uint64(100 + r.IntN(2000)),
+		}
+		if i%3 == 0 {
+			recs[i].DstAddr, recs[i].DstPort = 42, 31337
+			recs[i].Packets, recs[i].Bytes = 1, 40
+		}
+	}
+	meta := anomalyx.NewMetaData()
+	meta.Add(anomalyx.DstPort, 31337)
+	meta.Add(anomalyx.DstIP, 42)
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := anomalyx.Config{Workers: workers}
+			b.SetBytes(int64(len(recs)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := anomalyx.ExtractOffline(cfg, recs, meta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.SuspiciousFlows == 0 {
+					b.Fatal("nothing extracted")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEclatParallel sweeps the Eclat miner's equivalence-class
+// worker pool over the Table II workload. Results are byte-identical
+// across the sweep; speedup needs real cores (the dev container has
+// one — CI's bench artifact is the multi-core datapoint).
+func BenchmarkEclatParallel(b *testing.B) {
+	txs, data := tableIIFixture(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := eclat.New().Parallel(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Mine(txs, data.MinSupport); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // Maximal-output ablation: the cost of the paper's "modified" step.
 func BenchmarkFilterMaximal(b *testing.B) {

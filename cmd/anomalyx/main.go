@@ -8,11 +8,15 @@
 //	anomalyx -in trace.nf5 [-interval 15m] [-minsup N | -relsup 0.05]
 //	         [-miner apriori|fp-growth|eclat] [-prefilter union|intersection]
 //	         [-bins 1024] [-clones 3] [-votes 3] [-alpha 3] [-top 20]
-//	         [-shards N] [-v]
+//	         [-shards N] [-workers N] [-v]
 //
 // With -shards N > 1 the engine hash-partitions flows across N
 // independent pipelines and merges the per-shard state at every interval
-// close; reports are byte-identical to an unsharded run.
+// close; with -workers N != 1 each pipeline additionally fans its
+// detector updates, prefilter scan, and (for -miner eclat) the miner's
+// equivalence-class search out over N goroutines (0 = GOMAXPROCS).
+// Reports are byte-identical to an unsharded single-worker run in every
+// combination.
 package main
 
 import (
@@ -26,146 +30,205 @@ import (
 	"anomalyx/internal/mining"
 )
 
-func main() {
-	var (
-		in       = flag.String("in", "", "input NetFlow v5 trace file (required)")
-		interval = flag.Duration("interval", 15*time.Minute, "measurement interval length")
-		minsup   = flag.Int("minsup", 0, "absolute minimum support (0 = use -relsup)")
-		relsup   = flag.Float64("relsup", 0.05, "minimum support as a fraction of the suspicious flows")
-		miner    = flag.String("miner", "apriori", "mining algorithm: apriori, fp-growth, or eclat")
-		prefilt  = flag.String("prefilter", "union", "prefilter strategy: union or intersection")
-		bins     = flag.Int("bins", 1024, "histogram bins k")
-		clones   = flag.Int("clones", 3, "histogram clones n")
-		votes    = flag.Int("votes", 3, "votes l required to keep a feature value")
-		alpha    = flag.Float64("alpha", 3, "MAD threshold multiplier")
-		train    = flag.Int("train", 12, "training intervals before alarms may fire")
-		shards   = flag.Int("shards", 1, "hash-partitioned pipeline shards (0 = GOMAXPROCS)")
-		top      = flag.Int("top", 20, "item-sets to print per alarm")
-		verbose  = flag.Bool("v", false, "print every interval, not only alarms")
-	)
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "anomalyx: -in is required")
-		os.Exit(2)
-	}
+// options carries the parsed command line.
+type options struct {
+	in       string
+	interval time.Duration
+	minsup   int
+	relsup   float64
+	miner    string
+	prefilt  string
+	bins     int
+	clones   int
+	votes    int
+	alpha    float64
+	train    int
+	shards   int
+	workers  int
+	top      int
+	verbose  bool
+}
 
+// parseArgs parses the command line (without the program name) into
+// options. It returns flag.ErrHelp for -h.
+func parseArgs(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("anomalyx", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{}
+	fs.StringVar(&o.in, "in", "", "input NetFlow v5 trace file (required)")
+	fs.DurationVar(&o.interval, "interval", 15*time.Minute, "measurement interval length")
+	fs.IntVar(&o.minsup, "minsup", 0, "absolute minimum support (0 = use -relsup)")
+	fs.Float64Var(&o.relsup, "relsup", 0.05, "minimum support as a fraction of the suspicious flows")
+	fs.StringVar(&o.miner, "miner", "apriori", "mining algorithm: apriori, fp-growth, or eclat")
+	fs.StringVar(&o.prefilt, "prefilter", "union", "prefilter strategy: union or intersection")
+	fs.IntVar(&o.bins, "bins", 1024, "histogram bins k")
+	fs.IntVar(&o.clones, "clones", 3, "histogram clones n")
+	fs.IntVar(&o.votes, "votes", 3, "votes l required to keep a feature value")
+	fs.Float64Var(&o.alpha, "alpha", 3, "MAD threshold multiplier")
+	fs.IntVar(&o.train, "train", 12, "training intervals before alarms may fire")
+	fs.IntVar(&o.shards, "shards", 1, "hash-partitioned pipeline shards (0 = GOMAXPROCS)")
+	fs.IntVar(&o.workers, "workers", 0, "per-pipeline worker goroutines for detector, prefilter, and eclat fan-out (0 = GOMAXPROCS, 1 = sequential)")
+	fs.IntVar(&o.top, "top", 20, "item-sets to print per alarm")
+	fs.BoolVar(&o.verbose, "v", false, "print every interval, not only alarms")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.in == "" {
+		return nil, fmt.Errorf("anomalyx: -in is required")
+	}
+	return o, nil
+}
+
+// engineConfig resolves the options into the streaming-engine
+// configuration, validating the miner and prefilter names.
+func (o *options) engineConfig() (anomalyx.EngineConfig, error) {
 	cfg := anomalyx.Config{
 		Detector: anomalyx.DetectorConfig{
-			Bins: *bins, Clones: *clones, Votes: *votes,
-			Alpha: *alpha, TrainIntervals: *train,
+			Bins: o.bins, Clones: o.clones, Votes: o.votes,
+			Alpha: o.alpha, TrainIntervals: o.train,
 		},
-		MinSupport:      *minsup,
-		RelativeSupport: *relsup,
+		MinSupport:      o.minsup,
+		RelativeSupport: o.relsup,
+		Workers:         o.workers,
 	}
-	switch *miner {
+	switch o.miner {
 	case "apriori":
 		cfg.Miner = anomalyx.Apriori()
 	case "fp-growth":
 		cfg.Miner = anomalyx.FPGrowth()
 	case "eclat":
-		cfg.Miner = anomalyx.Eclat()
+		// EclatParallel(1) is the sequential search, so one constructor
+		// covers every worker count.
+		cfg.Miner = anomalyx.EclatParallel(o.workers)
 	default:
-		fmt.Fprintf(os.Stderr, "anomalyx: unknown miner %q\n", *miner)
-		os.Exit(2)
+		return anomalyx.EngineConfig{}, fmt.Errorf("unknown miner %q", o.miner)
 	}
-	switch *prefilt {
+	switch o.prefilt {
 	case "union":
 		cfg.Prefilter = anomalyx.PrefilterUnion()
 	case "intersection":
 		cfg.Prefilter = anomalyx.PrefilterIntersection()
 	default:
-		fmt.Fprintf(os.Stderr, "anomalyx: unknown prefilter %q\n", *prefilt)
-		os.Exit(2)
+		return anomalyx.EngineConfig{}, fmt.Errorf("unknown prefilter %q", o.prefilt)
 	}
-
-	engCfg := anomalyx.EngineConfig{
+	return anomalyx.EngineConfig{
 		Pipeline:    cfg,
-		IntervalLen: *interval,
+		IntervalLen: o.interval,
+	}, nil
+}
+
+// run streams the v5 trace from in through the engine and prints the
+// per-interval reports to out; it returns the interval and alarm counts.
+func run(o *options, in io.Reader, out io.Writer) (intervals, alarms int, err error) {
+	engCfg, err := o.engineConfig()
+	if err != nil {
+		return 0, 0, err
 	}
 	var eng *anomalyx.Engine
-	var err error
-	if *shards == 1 {
+	if o.shards == 1 {
 		eng, err = anomalyx.NewEngine(engCfg)
 	} else {
-		eng, err = anomalyx.NewShardedEngine(engCfg, *shards)
+		eng, err = anomalyx.NewShardedEngine(engCfg, o.shards)
 	}
 	if err != nil {
-		fatal(err)
+		return 0, 0, err
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
 
 	// Consume interval reports concurrently with trace parsing; the
 	// engine's bounded buffers keep the two sides in step.
-	idx := 0
-	alarms := 0
-	done := make(chan struct{})
+	done := make(chan error, 1)
 	go func() {
-		defer close(done)
 		for rep := range eng.Reports() {
-			if rep.Alarm || *verbose {
-				printReport(rep, idx, *top)
+			if rep.Alarm || o.verbose {
+				printReport(out, rep, intervals, o.top)
 			}
 			if rep.Alarm {
 				alarms++
 			}
-			idx++
+			intervals++
 		}
 		// Reports closes early on a pipeline error; surface it now
 		// rather than after the (possibly endless) input drains.
-		if err := eng.Err(); err != nil {
-			fatal(err)
-		}
+		done <- eng.Err()
 	}()
 
 	// Read in batches: SubmitBatch skips the per-record channel overhead
 	// (the intervals-closed return is consumed by the report goroutine
 	// via the Reports channel, so it is not needed here).
-	r := anomalyx.NewFlowReader(f)
-	batch := make([]anomalyx.Flow, 0, 512)
-	flush := func() {
-		if _, err := eng.SubmitBatch(batch); err != nil {
-			fatal(err)
+	submitErr := func() error {
+		r := anomalyx.NewFlowReader(in)
+		batch := make([]anomalyx.Flow, 0, 512)
+		flush := func() error {
+			_, err := eng.SubmitBatch(batch)
+			batch = batch[:0]
+			return err
 		}
-		batch = batch[:0]
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			batch = append(batch, rec)
+			if len(batch) == cap(batch) {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return flush()
+	}()
+	// Always close the engine and join the report consumer before
+	// returning: the counts it writes are only settled after done.
+	closeErr := eng.Close()
+	repErr := <-done
+	switch {
+	case submitErr != nil:
+		err = submitErr
+	case closeErr != nil:
+		err = closeErr
+	default:
+		err = repErr
 	}
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			fatal(err)
-		}
-		batch = append(batch, rec)
-		if len(batch) == cap(batch) {
-			flush()
-		}
-	}
-	flush()
-	if err := eng.Close(); err != nil {
-		fatal(err)
-	}
-	<-done
-	fmt.Printf("\nprocessed %d intervals, %d alarms\n", idx, alarms)
+	return intervals, alarms, err
 }
 
-func printReport(rep *anomalyx.Report, idx, top int) {
+func main() {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(0) // help was requested and printed — a success
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	f, err := os.Open(o.in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	intervals, alarms, err := run(o, f, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nprocessed %d intervals, %d alarms\n", intervals, alarms)
+}
+
+func printReport(w io.Writer, rep *anomalyx.Report, idx, top int) {
 	if !rep.Alarm {
-		fmt.Printf("interval %4d: %7d flows, no alarm\n", idx, rep.TotalFlows)
+		fmt.Fprintf(w, "interval %4d: %7d flows, no alarm\n", idx, rep.TotalFlows)
 		return
 	}
-	fmt.Printf("interval %4d: %7d flows  ALARM  suspicious=%d minsup=%d itemsets=%d (R=%.0f)\n",
+	fmt.Fprintf(w, "interval %4d: %7d flows  ALARM  suspicious=%d minsup=%d itemsets=%d (R=%.0f)\n",
 		idx, rep.TotalFlows, rep.SuspiciousFlows, rep.MinSupport, len(rep.ItemSets), rep.CostReduction)
 	sets := rep.ItemSets
 	if top < len(sets) {
 		sets = mining.TopK(sets, top)
 	}
 	for i := range sets {
-		fmt.Printf("    %s\n", sets[i].String())
+		fmt.Fprintf(w, "    %s\n", sets[i].String())
 	}
 }
 

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"anomalyx/internal/netflow"
+	"anomalyx/internal/tracegen"
+)
+
+func TestParseArgsFlagPlumbing(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-in", "trace.nf5", "-shards", "4", "-workers", "2", "-miner", "eclat",
+		"-prefilter", "intersection", "-interval", "5m", "-bins", "256",
+		"-train", "3", "-minsup", "11", "-top", "7", "-v",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.in != "trace.nf5" || o.shards != 4 || o.workers != 2 || o.miner != "eclat" ||
+		o.prefilt != "intersection" || o.interval != 5*time.Minute || o.bins != 256 ||
+		o.train != 3 || o.minsup != 11 || o.top != 7 || !o.verbose {
+		t.Fatalf("flags not plumbed: %+v", o)
+	}
+}
+
+func TestParseArgsDefaultsAndErrors(t *testing.T) {
+	o, err := parseArgs([]string{"-in", "x"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.shards != 1 || o.workers != 0 || o.miner != "apriori" || o.prefilt != "union" {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if _, err := parseArgs(nil, io.Discard); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if _, err := parseArgs([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	base := func() *options {
+		o, err := parseArgs([]string{"-in", "x"}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	for _, miner := range []string{"apriori", "fp-growth", "eclat"} {
+		o := base()
+		o.miner = miner
+		if _, err := o.engineConfig(); err != nil {
+			t.Fatalf("miner %q rejected: %v", miner, err)
+		}
+	}
+	o := base()
+	o.miner = "magic"
+	if _, err := o.engineConfig(); err == nil {
+		t.Fatal("unknown miner accepted")
+	}
+	o = base()
+	o.prefilt = "none"
+	if _, err := o.engineConfig(); err == nil {
+		t.Fatal("unknown prefilter accepted")
+	}
+	// Workers must reach the pipeline config and pick the right eclat
+	// variant (1 = sequential miner, anything else = parallel).
+	for _, workers := range []int{0, 1, 4} {
+		o = base()
+		o.miner = "eclat"
+		o.workers = workers
+		cfg, err := o.engineConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Pipeline.Workers != workers {
+			t.Fatalf("workers=%d not plumbed into pipeline config: %+v", workers, cfg.Pipeline)
+		}
+		if cfg.Pipeline.Miner.Name() != "eclat" {
+			t.Fatalf("miner = %q", cfg.Pipeline.Miner.Name())
+		}
+	}
+}
+
+// testTraceV5 renders a small seeded trace — benign background plus a
+// dstPort flood in interval floodAt — as concatenated NetFlow v5 export
+// packets, the CLI's input format.
+func testTraceV5(t *testing.T, intervals, baseFlows, floodAt int) []byte {
+	t.Helper()
+	cfg := tracegen.SmallConfig()
+	cfg.Intervals = intervals
+	cfg.BaseFlows = baseFlows
+	cfg.Events = tracegen.Schedule(cfg.Intervals, cfg.BaseFlows)
+	gen := tracegen.New(cfg)
+	var buf bytes.Buffer
+	w := netflow.NewWriter(&buf, cfg.IntervalStart(0))
+	for i := 0; i < intervals; i++ {
+		recs := gen.Interval(i)
+		if i == floodAt {
+			for j := range recs {
+				if j%3 == 0 {
+					recs[j].DstAddr, recs[j].DstPort = 42, 31337
+					recs[j].Packets, recs[j].Bytes = 1, 40
+				}
+			}
+		}
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunShardsWorkersDeterminism runs the full CLI path — v5 decode,
+// streaming engine, sharded or not, parallel workers or not — and
+// requires byte-identical stdout for every (shards, workers)
+// combination, including an alarming interval.
+func TestRunShardsWorkersDeterminism(t *testing.T) {
+	trace := testTraceV5(t, 8, 1500, 6)
+	baseArgs := []string{
+		"-in", "unused", "-interval", "15m", "-bins", "256", "-train", "4", "-v",
+	}
+	runWith := func(extra ...string) (string, int, int) {
+		o, err := parseArgs(append(append([]string{}, baseArgs...), extra...), io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		intervals, alarms, err := run(o, bytes.NewReader(trace), &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), intervals, alarms
+	}
+
+	want, wantIntervals, wantAlarms := runWith("-shards", "1", "-workers", "1")
+	if wantIntervals != 8 {
+		t.Fatalf("intervals = %d, want 8", wantIntervals)
+	}
+	if wantAlarms == 0 {
+		t.Fatal("no alarm in reference run; extraction path not covered")
+	}
+	if !strings.Contains(want, "ALARM") {
+		t.Fatal("report output missing alarm line")
+	}
+	for _, combo := range [][]string{
+		{"-shards", "2", "-workers", "2"},
+		{"-shards", "4", "-workers", "4"},
+		{"-shards", "2", "-workers", "0", "-miner", "eclat"},
+	} {
+		got, intervals, alarms := runWith(combo...)
+		if intervals != wantIntervals || alarms != wantAlarms {
+			t.Fatalf("%v: counts (%d, %d) diverged from (%d, %d)",
+				combo, intervals, alarms, wantIntervals, wantAlarms)
+		}
+		// The eclat run mines the same item-sets by the cross-miner
+		// equivalence; all runs must render byte-identical reports.
+		if got != want {
+			t.Fatalf("%v: output diverged\ngot:\n%s\nwant:\n%s", combo, got, want)
+		}
+	}
+}
+
+// TestRunSurfacesBadInput covers the decode-error path.
+func TestRunSurfacesBadInput(t *testing.T) {
+	o, err := parseArgs([]string{"-in", "x"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, _, err := run(o, strings.NewReader("not a netflow packet"), &out); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+// TestRunRejectsNegativeShards: invalid shard counts error out instead
+// of silently running unsharded or resolving to GOMAXPROCS.
+func TestRunRejectsNegativeShards(t *testing.T) {
+	o, err := parseArgs([]string{"-in", "x", "-shards", "-3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, _, err := run(o, strings.NewReader(""), &out); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}

@@ -49,8 +49,11 @@ type Config struct {
 	// item-set instead of fragmenting below the minimum support.
 	QuantizeSizes bool
 	// Workers bounds the detector bank's worker pool for ObserveBatch
-	// and EndInterval. 0 means GOMAXPROCS (tracking -cpu sweeps at call
-	// time); 1 forces the sequential path.
+	// and EndInterval, and the chunked parallel prefilter scan of the
+	// extraction stage. 0 means GOMAXPROCS — resolved when the bank's
+	// pool is created at construction, and at call time for the
+	// prefilter scan; 1 forces the sequential path. The parallel paths
+	// produce reports byte-identical to the sequential ones.
 	Workers int
 }
 
@@ -213,25 +216,38 @@ func (p *Pipeline) ProcessInterval(recs []flow.Record) (*Report, error) {
 	return p.EndInterval()
 }
 
-// extract runs prefiltering and mining for an alarming interval.
+// extract runs prefiltering and mining for an alarming interval. The
+// prefilter scan fans out over cfg.Workers chunks; the chunked output is
+// concatenated in range order, so the report is byte-identical to a
+// sequential scan.
 func (p *Pipeline) extract(rep *Report, meta detector.MetaData) error {
-	suspicious := prefilter.Filter(p.cfg.Prefilter, meta, p.buffer)
+	suspicious := prefilter.FilterParallel(p.cfg.Prefilter, meta, p.buffer, p.cfg.Workers)
+	return finishExtract(p.cfg, rep, suspicious)
+}
+
+// finishExtract populates rep's extraction fields from an
+// already-prefiltered suspicious set: counts, resolved minimum support,
+// mining result, maximal item-sets, and cost reduction. Every extraction
+// entry point — the online interval close, the offline post-mortem, and
+// the distributed sharded close — funnels through here so their reports
+// stay field-for-field comparable.
+func finishExtract(cfg Config, rep *Report, suspicious []flow.Record) error {
 	rep.SuspiciousFlows = len(suspicious)
-	if p.cfg.KeepSuspicious {
+	if cfg.KeepSuspicious {
 		rep.Suspicious = suspicious
 	}
 	if len(suspicious) == 0 {
 		rep.CostReduction = cost.Reduction(rep.TotalFlows, 0)
 		return nil
 	}
-	minsup := p.supportFor(len(suspicious))
+	minsup := supportFor(cfg, len(suspicious))
 	rep.MinSupport = minsup
 
 	txs := itemset.FromFlows(suspicious)
-	if p.cfg.QuantizeSizes {
+	if cfg.QuantizeSizes {
 		txs = itemset.QuantizeAll(txs, itemset.SizeKinds...)
 	}
-	res, err := p.cfg.Miner.Mine(txs, minsup)
+	res, err := cfg.Miner.Mine(txs, minsup)
 	if err != nil {
 		return fmt.Errorf("core: mining interval %d: %w", rep.Interval, err)
 	}
@@ -243,11 +259,11 @@ func (p *Pipeline) extract(rep *Report, meta detector.MetaData) error {
 
 // supportFor resolves the absolute minimum support for a suspicious-flow
 // count.
-func (p *Pipeline) supportFor(suspicious int) int {
-	if p.cfg.MinSupport > 0 {
-		return p.cfg.MinSupport
+func supportFor(cfg Config, suspicious int) int {
+	if cfg.MinSupport > 0 {
+		return cfg.MinSupport
 	}
-	s := int(p.cfg.RelativeSupport * float64(suspicious))
+	s := int(cfg.RelativeSupport * float64(suspicious))
 	if s < 1 {
 		s = 1
 	}
@@ -257,37 +273,108 @@ func (p *Pipeline) supportFor(suspicious int) int {
 // ExtractOffline runs the extraction stage alone — the post-mortem mode
 // of §II: given an interval's flows and the alarm meta-data an operator
 // wants to investigate, prefilter and mine without touching detector
-// state.
+// state. Like the online path it fans the prefilter scan out over
+// cfg.Workers chunks with output identical to a sequential scan.
 func ExtractOffline(cfg Config, recs []flow.Record, meta detector.MetaData) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rep := &Report{TotalFlows: len(recs), Alarm: true}
-	suspicious := prefilter.Filter(cfg.Prefilter, meta, recs)
-	rep.SuspiciousFlows = len(suspicious)
-	if cfg.KeepSuspicious {
-		rep.Suspicious = suspicious
-	}
-	if len(suspicious) == 0 {
-		rep.CostReduction = cost.Reduction(rep.TotalFlows, 0)
-		return rep, nil
-	}
-	minsup := cfg.MinSupport
-	if minsup == 0 {
-		minsup = int(cfg.RelativeSupport * float64(len(suspicious)))
-		if minsup < 1 {
-			minsup = 1
-		}
-	}
-	rep.MinSupport = minsup
-	txs := itemset.FromFlows(suspicious)
-	if cfg.QuantizeSizes {
-		txs = itemset.QuantizeAll(txs, itemset.SizeKinds...)
-	}
-	res, err := cfg.Miner.Mine(txs, minsup)
-	if err != nil {
+	suspicious := prefilter.FilterParallel(cfg.Prefilter, meta, recs, cfg.Workers)
+	if err := finishExtract(cfg, rep, suspicious); err != nil {
 		return nil, err
 	}
-	rep.Mining = res
-	rep.ItemSets = res.Maximal
-	rep.CostReduction = cost.Reduction(rep.TotalFlows, len(rep.ItemSets))
+	return rep, nil
+}
+
+// EndIntervalGroup closes one measurement interval in lockstep across a
+// group of shard pipelines, with the extraction stage distributed over
+// the shards instead of funneled through one merged buffer:
+//
+//  1. the primary (first) pipeline absorbs every sibling's detector-bank
+//     clone histograms (exact mergeable sketches — see Absorb) and
+//     closes detection over the merged state;
+//  2. on an alarm, every shard prefilters its own local flow buffer
+//     concurrently (one goroutine per shard, each fanning further out
+//     over its pipeline's Workers), and the per-shard suspicious sets
+//     concatenate in shard order — the same flows the former
+//     merge-then-scan produced, in the same order, found by one parallel
+//     pass over buffers that never leave their shard;
+//  3. the merged suspicious set is mined once.
+//
+// All buffers are cleared before returning. Every pipeline must share
+// the detector configuration; the pipelines must not observe flows
+// concurrently with the group close (the shard package serializes this).
+// The report is byte-identical to a single pipeline having observed the
+// whole stream — only the KeepSuspicious forensic slice regroups by
+// shard.
+func EndIntervalGroup(group []*Pipeline) (*Report, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("core: empty pipeline group")
+	}
+	if len(group) == 1 {
+		return group[0].EndInterval()
+	}
+	// Reject duplicates before taking any lock: locking the same
+	// pipeline twice would self-deadlock instead of erroring.
+	for i := range group {
+		for j := i + 1; j < len(group); j++ {
+			if group[i] == group[j] {
+				return nil, fmt.Errorf("core: duplicate pipeline in group")
+			}
+		}
+	}
+	for _, p := range group {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	primary := group[0]
+	for _, sh := range group[1:] {
+		if err := primary.bank.Absorb(sh.bank); err != nil {
+			return nil, err
+		}
+	}
+	det := primary.bank.EndInterval()
+	total := 0
+	for _, sh := range group {
+		total += len(sh.buffer)
+	}
+	rep := &Report{
+		Interval:   det.Interval,
+		Detection:  det,
+		Alarm:      det.Alarm,
+		TotalFlows: total,
+	}
+	if det.Alarm && det.Meta.Count() > 0 {
+		parts := make([][]flow.Record, len(group))
+		var wg sync.WaitGroup
+		for i, sh := range group {
+			if len(sh.buffer) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, sh *Pipeline) {
+				defer wg.Done()
+				parts[i] = prefilter.FilterParallel(sh.cfg.Prefilter, det.Meta, sh.buffer, sh.cfg.Workers)
+			}(i, sh)
+		}
+		wg.Wait()
+		n := 0
+		for _, part := range parts {
+			n += len(part)
+		}
+		// Keep the no-match case nil, as the sequential Filter returns it.
+		var suspicious []flow.Record
+		if n > 0 {
+			suspicious = make([]flow.Record, 0, n)
+			for _, part := range parts {
+				suspicious = append(suspicious, part...)
+			}
+		}
+		if err := finishExtract(primary.cfg, rep, suspicious); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range group {
+		sh.buffer = sh.buffer[:0]
+	}
 	return rep, nil
 }

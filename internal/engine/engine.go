@@ -138,6 +138,12 @@ func New(cfg Config) (*Engine, error) {
 		// to a zero-length boundary grid.
 		return nil, fmt.Errorf("engine: interval length %v below 1ms resolution", cfg.IntervalLen)
 	}
+	if cfg.Shards < 0 {
+		// Reject rather than silently running unsharded: shard.New
+		// errors on the same input, and the two entry points should
+		// agree.
+		return nil, fmt.Errorf("engine: negative shard count %d", cfg.Shards)
+	}
 	e := &Engine{
 		cfg:  cfg,
 		in:   make(chan msg, cfg.Buffer),

@@ -3,20 +3,45 @@
 // sliding-window variant sketched by Li and Deng [21] for monitoring
 // flows in motion. Both produce exactly the same frequent item-sets as
 // the Apriori and FP-Growth implementations.
+//
+// The miner optionally parallelizes over first-item equivalence classes
+// (Parallel): the depth-first search below each frequent 1-item prefix
+// touches only tid-list intersections of that prefix, so the classes
+// mine independently and their results concatenate in canonical item
+// order — the exact slice the sequential search produces.
 package eclat
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"anomalyx/internal/itemset"
 	"anomalyx/internal/mining"
 )
 
 // Miner is the Eclat implementation of mining.Miner.
-type Miner struct{}
+type Miner struct {
+	// workers is the equivalence-class fan-out; <= 1 mines sequentially.
+	workers int
+}
 
-// New returns an Eclat miner.
+// New returns a sequential Eclat miner.
 func New() *Miner { return &Miner{} }
+
+// Parallel sets the miner's worker count for the first-item
+// equivalence-class fan-out and returns the miner for chaining
+// (eclat.New().Parallel(8)). 0 resolves to GOMAXPROCS; 1 restores the
+// sequential search. The mining result is byte-identical to the
+// sequential miner's on every input.
+func (m *Miner) Parallel(workers int) *Miner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m.workers = workers
+	return m
+}
 
 // Name implements mining.Miner.
 func (m *Miner) Name() string { return "eclat" }
@@ -45,41 +70,107 @@ func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, err
 			roots = append(roots, vert{item: it, tids: tids})
 		}
 	}
-	all := mineVertical(roots, minsup)
+	all := mineVertical(roots, minsup, m.workers)
 	return mining.BuildResult(all, len(txs), minsup), nil
 }
 
-// mineVertical runs the shared depth-first tid-list search from the given
-// frequent 1-item verticals.
-func mineVertical(roots []vert, minsup int) []itemset.Set {
+// mineVertical runs the tid-list search from the given frequent 1-item
+// verticals: sorted into canonical order, then one equivalence class per
+// root, mined sequentially or over a worker pool. Class results always
+// concatenate in root order, so the output is independent of the worker
+// count.
+func mineVertical(roots []vert, minsup, workers int) []itemset.Set {
 	// Canonical order keeps the DFS deterministic.
 	sort.Slice(roots, func(i, j int) bool { return roots[i].item.Less(roots[j].item) })
 
-	var all []itemset.Set
-	var dfs func(prefix []itemset.Item, ext []vert)
-	dfs = func(prefix []itemset.Item, ext []vert) {
-		for i := range ext {
-			withItem := append(prefix, ext[i].item)
-			all = append(all, itemset.NewSet(withItem, len(ext[i].tids)))
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	if workers <= 1 {
+		var all []itemset.Set
+		for i := range roots {
+			all = mineClass(all, roots, i, minsup)
+		}
+		return all
+	}
 
-			var next []vert
-			for j := i + 1; j < len(ext); j++ {
-				// Two items of the same feature kind never co-occur.
-				if ext[j].item.Kind == ext[i].item.Kind {
-					continue
+	// Parallel: classes are independent (class i only intersects
+	// roots[i].tids with roots[i+1:]), so a worker pool drains an atomic
+	// class counter and the per-class slices merge in class order.
+	results := make([][]itemset.Set, len(roots))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(roots) {
+					return
 				}
-				tids := intersect(ext[i].tids, ext[j].tids)
-				if len(tids) >= minsup {
-					next = append(next, vert{item: ext[j].item, tids: tids})
-				}
+				results[i] = mineClass(nil, roots, i, minsup)
 			}
-			if len(next) > 0 {
-				dfs(withItem, next)
-			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	all := make([]itemset.Set, 0, total)
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all
+}
+
+// mineClass appends to out every frequent item-set of the equivalence
+// class rooted at roots[i] — the sets whose smallest item (in canonical
+// order) is roots[i].item — in depth-first order, and returns out.
+func mineClass(out []itemset.Set, roots []vert, i, minsup int) []itemset.Set {
+	prefix := []itemset.Item{roots[i].item}
+	out = append(out, itemset.NewSet(prefix, len(roots[i].tids)))
+	var next []vert
+	for j := i + 1; j < len(roots); j++ {
+		// Two items of the same feature kind never co-occur.
+		if roots[j].item.Kind == roots[i].item.Kind {
+			continue
+		}
+		tids := intersect(roots[i].tids, roots[j].tids)
+		if len(tids) >= minsup {
+			next = append(next, vert{item: roots[j].item, tids: tids})
 		}
 	}
-	dfs(nil, roots)
-	return all
+	if len(next) > 0 {
+		out = dfs(out, prefix, next, minsup)
+	}
+	return out
+}
+
+// dfs extends prefix with every frequent combination of ext (ordered
+// candidate verticals whose tid-lists are already restricted to the
+// prefix), appending each discovered set to out in depth-first order.
+func dfs(out []itemset.Set, prefix []itemset.Item, ext []vert, minsup int) []itemset.Set {
+	for i := range ext {
+		withItem := append(prefix, ext[i].item)
+		out = append(out, itemset.NewSet(withItem, len(ext[i].tids)))
+
+		var next []vert
+		for j := i + 1; j < len(ext); j++ {
+			if ext[j].item.Kind == ext[i].item.Kind {
+				continue
+			}
+			tids := intersect(ext[i].tids, ext[j].tids)
+			if len(tids) >= minsup {
+				next = append(next, vert{item: ext[j].item, tids: tids})
+			}
+		}
+		if len(next) > 0 {
+			out = dfs(out, withItem, next, minsup)
+		}
+	}
+	return out
 }
 
 // intersect merges two sorted tid-lists.

@@ -74,7 +74,7 @@ func TestMineVerticalDFS(t *testing.T) {
 		{item: a, tids: []int32{0, 1, 2, 3}},
 		{item: b, tids: []int32{0, 1, 2}},
 	}
-	all := mineVertical(roots, 3)
+	all := mineVertical(roots, 3, 1)
 	// {a}:4, {b}:3, {a,b}:3.
 	if len(all) != 3 {
 		t.Fatalf("sets = %v", all)
@@ -95,7 +95,7 @@ func TestMineVerticalSkipsSameKind(t *testing.T) {
 		{item: p80, tids: []int32{0, 1}},
 		{item: p443, tids: []int32{2, 3}},
 	}
-	all := mineVertical(roots, 2)
+	all := mineVertical(roots, 2, 1)
 	for i := range all {
 		if all[i].Size() > 1 {
 			t.Errorf("same-kind combination emitted: %v", all[i])

@@ -1,0 +1,86 @@
+package eclat
+
+import (
+	"reflect"
+	"testing"
+
+	"anomalyx/internal/flow"
+	"anomalyx/internal/itemset"
+	"anomalyx/internal/stats"
+)
+
+// lowCardTxs generates random transactions with limited value
+// cardinality so frequent sets actually occur at the tested supports.
+func lowCardTxs(seed uint64, n int) []itemset.Transaction {
+	r := stats.NewRand(seed)
+	txs := make([]itemset.Transaction, n)
+	for i := range txs {
+		rec := flow.Record{
+			SrcAddr: uint32(r.IntN(5)), DstAddr: uint32(r.IntN(4)),
+			SrcPort: uint16(r.IntN(6)), DstPort: uint16(r.IntN(3)),
+			Protocol: uint8(6 + 11*r.IntN(2)),
+			Packets:  uint32(1 + r.IntN(3)), Bytes: uint64(40 * (1 + r.IntN(3))),
+		}
+		txs[i] = itemset.FromFlow(&rec)
+	}
+	return txs
+}
+
+// TestParallelMatchesSequential is the miner's determinism contract:
+// for every worker count the equivalence-class fan-out returns a Result
+// deeply equal to the sequential miner's — same sets, same supports,
+// same order, same level statistics.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 25, 400, 2000} {
+		for _, minsup := range []int{1, 3, 50} {
+			if minsup > n && n > 0 {
+				continue
+			}
+			txs := lowCardTxs(uint64(n*10+minsup), n)
+			want, err := New().Mine(txs, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 2, 4, 8, 33} {
+				got, err := New().Parallel(workers).Mine(txs, minsup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("n=%d minsup=%d workers=%d: parallel result diverged\ngot:  %+v\nwant: %+v",
+						n, minsup, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelChainingAndName covers the option API: Parallel returns
+// the miner for chaining, resolves 0 to a positive pool size, and the
+// algorithm identity is unchanged.
+func TestParallelChainingAndName(t *testing.T) {
+	m := New()
+	if m.Parallel(4) != m {
+		t.Fatal("Parallel must return the receiver for chaining")
+	}
+	if m.workers != 4 {
+		t.Fatalf("workers = %d, want 4", m.workers)
+	}
+	if New().Parallel(0).workers < 1 {
+		t.Fatal("Parallel(0) must resolve to GOMAXPROCS")
+	}
+	if New().Parallel(-3).workers < 1 {
+		t.Fatal("negative worker count must resolve to a positive pool")
+	}
+	if New().Parallel(2).Name() != "eclat" {
+		t.Fatal("parallel option must not change the miner name")
+	}
+}
+
+// TestParallelValidatesInput mirrors the sequential validation.
+func TestParallelValidatesInput(t *testing.T) {
+	txs := lowCardTxs(1, 10)
+	if _, err := New().Parallel(4).Mine(txs, 0); err == nil {
+		t.Fatal("minsup 0 accepted by parallel miner")
+	}
+}

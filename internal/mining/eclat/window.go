@@ -93,7 +93,7 @@ func (w *Window) Mine(minsup int) (*mining.Result, error) {
 		}
 		roots = append(roots, vert{item: it, tids: rebased})
 	}
-	all := mineVertical(roots, minsup)
+	all := mineVertical(roots, minsup, 1)
 	return mining.BuildResult(all, w.live, minsup), nil
 }
 

@@ -8,6 +8,9 @@
 package prefilter
 
 import (
+	"runtime"
+	"sync"
+
 	"anomalyx/internal/detector"
 	"anomalyx/internal/flow"
 )
@@ -44,26 +47,118 @@ func (Intersection) Match(m detector.MetaData, rec *flow.Record) bool {
 // Name implements Strategy.
 func (Intersection) Name() string { return "intersection" }
 
+// scan is the single match traversal every Filter/Count variant funnels
+// through: it walks recs, returns how many records strategy s selects
+// and, when collect is set, the selected records themselves in input
+// order (nil otherwise).
+func scan(s Strategy, m detector.MetaData, recs []flow.Record, collect bool) ([]flow.Record, int) {
+	var out []flow.Record
+	n := 0
+	for i := range recs {
+		if s.Match(m, &recs[i]) {
+			n++
+			if collect {
+				out = append(out, recs[i])
+			}
+		}
+	}
+	return out, n
+}
+
 // Filter returns the flows of recs selected by strategy s under
 // meta-data m, preserving input order.
 func Filter(s Strategy, m detector.MetaData, recs []flow.Record) []flow.Record {
-	var out []flow.Record
-	for i := range recs {
-		if s.Match(m, &recs[i]) {
-			out = append(out, recs[i])
-		}
-	}
+	out, _ := scan(s, m, recs, true)
 	return out
 }
 
 // Count returns how many flows of recs strategy s selects, without
 // materializing them.
 func Count(s Strategy, m detector.MetaData, recs []flow.Record) int {
-	n := 0
-	for i := range recs {
-		if s.Match(m, &recs[i]) {
-			n++
-		}
-	}
+	_, n := scan(s, m, recs, false)
 	return n
+}
+
+// minParallelRecords is the input size below which the parallel variants
+// fall back to the sequential scan: the chunk bookkeeping and goroutine
+// fan-out cost more than they save on small inputs.
+const minParallelRecords = 2048
+
+// resolveWorkers maps the Config.Workers convention (0 = GOMAXPROCS,
+// 1 = sequential) onto an effective chunk count for n records.
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// parallelScan splits recs into workers contiguous ranges, scans them
+// concurrently, and returns the per-chunk results in range order plus
+// the total match count. Chunk boundaries only partition the traversal;
+// because the per-chunk outputs are kept in range order, concatenating
+// them reproduces the sequential scan exactly.
+func parallelScan(s Strategy, m detector.MetaData, recs []flow.Record, workers int, collect bool) ([][]flow.Record, []int) {
+	parts := make([][]flow.Record, workers)
+	counts := make([]int, workers)
+	chunk := (len(recs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(recs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, part []flow.Record) {
+			defer wg.Done()
+			parts[w], counts[w] = scan(s, m, part, collect)
+		}(w, recs[lo:hi])
+	}
+	wg.Wait()
+	return parts, counts
+}
+
+// FilterParallel is Filter over a chunked worker fan-out: recs is split
+// into contiguous ranges matched concurrently, and the per-chunk
+// selections are concatenated in range order, so the output is
+// byte-identical to the sequential Filter. workers follows the
+// Config.Workers convention (0 = GOMAXPROCS, <= 1 or small inputs run
+// sequentially).
+func FilterParallel(s Strategy, m detector.MetaData, recs []flow.Record, workers int) []flow.Record {
+	workers = resolveWorkers(workers, len(recs))
+	if workers <= 1 || len(recs) < minParallelRecords {
+		return Filter(s, m, recs)
+	}
+	parts, counts := parallelScan(s, m, recs, workers, true)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]flow.Record, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// CountParallel is Count over the same chunked fan-out as
+// FilterParallel, without materializing the selection.
+func CountParallel(s Strategy, m detector.MetaData, recs []flow.Record, workers int) int {
+	workers = resolveWorkers(workers, len(recs))
+	if workers <= 1 || len(recs) < minParallelRecords {
+		return Count(s, m, recs)
+	}
+	_, counts := parallelScan(s, m, recs, workers, false)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
 }

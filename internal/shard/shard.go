@@ -10,14 +10,17 @@
 // in every shard, so adding the per-bin counts (and unioning the
 // bin→value maps) of N shard histograms yields precisely the histogram
 // one pipeline would have built from the whole stream. EndInterval
-// therefore absorbs the N-1 sibling shards into the primary shard and
-// closes the interval there: detection (KL, thresholds, anomalous-bin
-// identification, l-of-n voting), prefiltering and mining all run over
-// the merged state, and the resulting report is byte-identical to an
-// unsharded run over the same records — the property the determinism
-// tests pin down. Ingestion, the hot path, runs fully in parallel: each
-// shard locks only its own pipeline, so throughput and the per-shard
-// value-tracking working set both scale with the shard count.
+// therefore absorbs the N-1 sibling banks into the primary shard and
+// runs detection (KL, thresholds, anomalous-bin identification, l-of-n
+// voting) over the merged state; the extraction stage stays distributed
+// — on an alarm each shard prefilters its own local flow buffer
+// concurrently and the suspicious sets merge in shard order before one
+// mining pass — and the resulting report is byte-identical to an
+// unsharded run over the same records, the property the determinism
+// tests pin down. Both ingestion (the hot path) and the per-alarm
+// prefilter scan run fully in parallel: each shard locks only its own
+// pipeline and scans only its own buffer, so throughput and the
+// per-shard value-tracking working set both scale with the shard count.
 //
 //	sp, _ := shard.New(shard.Config{Shards: 8})
 //	for batch := range source {
@@ -165,24 +168,22 @@ func (s *ShardedPipeline) ObserveBatch(recs []flow.Record) {
 }
 
 // EndInterval closes the current interval in lockstep across the
-// shards: the primary shard absorbs every sibling's clone histograms and
-// buffered flows (core.Pipeline.Absorb — the cross-shard merge, exact
-// because equal-seed histogram clones are mergeable sketches), then
-// closes the interval over the merged state. Detection results, voted
-// meta-data (deduplicated by the merge's value-set union), prefilter
-// counts, mined item-sets and cost reduction are byte-identical to an
-// unsharded pipeline over the same records; only the order of the
-// KeepSuspicious forensic slice differs (records regroup by shard).
+// shards (core.EndIntervalGroup): the primary shard absorbs every
+// sibling's clone histograms (the cross-shard merge, exact because
+// equal-seed histogram clones are mergeable sketches) and closes
+// detection over the merged state; on an alarm each shard then
+// prefilters its own local flow buffer concurrently and the per-shard
+// suspicious sets merge in shard order before one mining pass — the
+// flow buffers never funnel through the primary. Detection results,
+// voted meta-data (deduplicated by the merge's value-set union),
+// prefilter counts, mined item-sets and cost reduction are
+// byte-identical to an unsharded pipeline over the same records; only
+// the order of the KeepSuspicious forensic slice differs (records
+// regroup by shard).
 func (s *ShardedPipeline) EndInterval() (*core.Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	primary := s.shards[0]
-	for _, sh := range s.shards[1:] {
-		if err := primary.Absorb(sh); err != nil {
-			return nil, err
-		}
-	}
-	return primary.EndInterval()
+	return core.EndIntervalGroup(s.shards)
 }
 
 // ProcessInterval is the batch convenience: ObserveBatch all recs, then

@@ -64,10 +64,12 @@ func renderReport(rep *core.Report) string {
 	return b.String()
 }
 
-// TestShardedDeterminism pins the tentpole contract: over the same
-// seeded trace, a 2-shard and a 4-shard ShardedPipeline produce reports
-// byte-identical to both a 1-shard ShardedPipeline and a plain
-// core.Pipeline, interval for interval.
+// TestShardedDeterminism pins the tentpole contract over the full
+// (Workers, shards) grid: for shards ∈ {1, 2, 4} and per-shard Workers
+// ∈ {1, 2, 4, 8}, a ShardedPipeline — with its distributed per-shard
+// prefilter and shard-order suspicious-set merge — produces reports
+// byte-identical to a plain sequential core.Pipeline, interval for
+// interval.
 func TestShardedDeterminism(t *testing.T) {
 	trace := testTrace(10, 3000, 8)
 
@@ -91,33 +93,37 @@ func TestShardedDeterminism(t *testing.T) {
 	}
 
 	for _, shards := range []int{1, 2, 4} {
-		sp, err := New(Config{Shards: shards, Pipeline: testPipelineConfig()})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, recs := range trace {
-			// Feed in alternating small and large chunks so both the
-			// sequential small-batch route and the partition + fan-out
-			// route contribute to the same interval.
-			for j, small := 0, true; j < len(recs); small = !small {
-				n := 700
-				if small {
-					n = 45
-				}
-				end := min(j+n, len(recs))
-				sp.ObserveBatch(recs[j:end])
-				j = end
-			}
-			rep, err := sp.EndInterval()
+		for _, workers := range []int{1, 2, 4, 8} {
+			cfg := testPipelineConfig()
+			cfg.Workers = workers
+			sp, err := New(Config{Shards: shards, Pipeline: cfg})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := renderReport(rep); got != want[i] {
-				t.Fatalf("shards=%d interval %d: report diverged from plain pipeline\ngot:  %s\nwant: %s",
-					shards, i, got, want[i])
+			for i, recs := range trace {
+				// Feed in alternating small and large chunks so both the
+				// sequential small-batch route and the partition + fan-out
+				// route contribute to the same interval.
+				for j, small := 0, true; j < len(recs); small = !small {
+					n := 700
+					if small {
+						n = 45
+					}
+					end := min(j+n, len(recs))
+					sp.ObserveBatch(recs[j:end])
+					j = end
+				}
+				rep, err := sp.EndInterval()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := renderReport(rep); got != want[i] {
+					t.Fatalf("shards=%d workers=%d interval %d: report diverged from plain pipeline\ngot:  %s\nwant: %s",
+						shards, workers, i, got, want[i])
+				}
 			}
+			sp.Close()
 		}
-		sp.Close()
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"anomalyx/internal/netflow"
 	"anomalyx/internal/prefilter"
 	"anomalyx/internal/shard"
+	"anomalyx/internal/wire"
 )
 
 // Core model types.
@@ -179,6 +180,74 @@ func PrefilterUnion() prefilter.Strategy { return prefilter.Union{} }
 // PrefilterIntersection returns the intersection baseline (§II-A shows it
 // can miss multistage anomalies entirely).
 func PrefilterIntersection() prefilter.Strategy { return prefilter.Intersection{} }
+
+// Distributed deployment: the wire protocol that lets shards live on
+// separate machines. Agents accumulate partitions of the flow stream
+// and ship each measurement interval's drained state (mergeable
+// histogram clones + buffered flows) to a collector, which absorbs the
+// snapshots in agent-ID order and runs detection — with reports
+// byte-identical to a single process running the same partitions as
+// in-process shards. See docs/ARCHITECTURE.md for the full contract.
+type (
+	// WireAgent is the sending half: one TCP connection to a collector.
+	WireAgent = wire.Agent
+	// WireCollector accepts N agents and owns all detection state.
+	WireCollector = wire.Collector
+	// PipelineSnapshot is a pipeline's exported state — a lossless,
+	// canonically-encoded checkpoint.
+	PipelineSnapshot = core.PipelineSnapshot
+)
+
+// DialCollector connects to a collector and performs the handshake for
+// the given agent ID. cfg must match the collector's configuration (its
+// detection parameters are digested into the handshake).
+func DialCollector(addr string, agentID int, cfg Config) (*WireAgent, error) {
+	return wire.Dial(addr, agentID, cfg)
+}
+
+// NewCollector builds the collector side for the given agent count;
+// drive it with Serve on a TCP listener.
+func NewCollector(cfg Config, agents int) (*WireCollector, error) {
+	return wire.NewCollector(cfg, agents)
+}
+
+// NewAgentEngine builds and starts a streaming engine whose interval
+// closes drain a locally sharded pipeline (shards as in
+// NewShardedEngine; 0 = GOMAXPROCS) and ship the drained snapshots
+// through agent instead of running detection locally. Close the engine
+// first, then the agent — the Bye frame must trail the final flushed
+// interval.
+func NewAgentEngine(cfg EngineConfig, agent *WireAgent, shards int) (*Engine, error) {
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	sp, err := shard.New(shard.Config{Shards: shards, Pipeline: cfg.Pipeline})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.NewWithSink(cfg, wire.NewAgentSink(agent, sp))
+	if err != nil {
+		// Release the shards' detector-bank worker pools: the engine was
+		// never built, so nothing else will Close them.
+		sp.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+// EncodePipelineSnapshot serializes a pipeline snapshot with the
+// canonical versioned codec; DecodePipelineSnapshot is its inverse.
+func EncodePipelineSnapshot(s PipelineSnapshot) []byte { return wire.EncodePipelineSnapshot(s) }
+
+// DecodePipelineSnapshot parses an EncodePipelineSnapshot payload.
+func DecodePipelineSnapshot(b []byte) (PipelineSnapshot, error) {
+	return wire.DecodePipelineSnapshot(b)
+}
+
+// ConfigDigest hashes the detection-relevant configuration — what both
+// ends of a wire connection must agree on for snapshots to merge
+// meaningfully.
+func ConfigDigest(cfg Config) uint64 { return wire.ConfigDigest(cfg) }
 
 // NetFlow I/O.
 type (

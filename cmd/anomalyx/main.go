@@ -10,6 +10,9 @@
 //	         [-bins 1024] [-clones 3] [-votes 3] [-alpha 3] [-top 20]
 //	         [-shards N] [-workers N] [-v]
 //
+//	anomalyx -mode agent -in part0.nf5 -connect host:4711 -agent-id 0 [-shards N] ...
+//	anomalyx -mode collector -listen :4711 -agents 2 ...
+//
 // With -shards N > 1 the engine hash-partitions flows across N
 // independent pipelines and merges the per-shard state at every interval
 // close; with -workers N != 1 each pipeline additionally fans its
@@ -17,12 +20,24 @@
 // equivalence-class search out over N goroutines (0 = GOMAXPROCS).
 // Reports are byte-identical to an unsharded single-worker run in every
 // combination.
+//
+// The agent and collector modes split that same computation across
+// machines: each agent streams its own trace partition through a local
+// (optionally -shards-sharded) pipeline and ships every measurement
+// interval's drained histogram state and flow buffer to the collector,
+// which absorbs the snapshots in agent-ID order and runs detection and
+// extraction exactly as a single process would — reports stay
+// byte-identical. Detection parameters (-bins, -clones, -votes, -alpha,
+// -train, and the detector seed) must match between agents and
+// collector; the connection handshake enforces this with a config
+// digest. See docs/ARCHITECTURE.md, "Distributed deployment".
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"time"
 
@@ -32,7 +47,12 @@ import (
 
 // options carries the parsed command line.
 type options struct {
+	mode     string
 	in       string
+	connect  string
+	listen   string
+	agents   int
+	agentID  int
 	interval time.Duration
 	minsup   int
 	relsup   float64
@@ -55,7 +75,12 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs := flag.NewFlagSet("anomalyx", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	o := &options{}
-	fs.StringVar(&o.in, "in", "", "input NetFlow v5 trace file (required)")
+	fs.StringVar(&o.mode, "mode", "run", "run (local), agent (ship intervals to a collector), or collector (merge agents)")
+	fs.StringVar(&o.in, "in", "", "input NetFlow v5 trace file (required for run and agent modes)")
+	fs.StringVar(&o.connect, "connect", "", "collector address to ship snapshots to (agent mode)")
+	fs.StringVar(&o.listen, "listen", "", "address to accept agent connections on (collector mode)")
+	fs.IntVar(&o.agents, "agents", 0, "number of agent connections to accept (collector mode)")
+	fs.IntVar(&o.agentID, "agent-id", -1, "this agent's ID in [0, agents) (agent mode)")
 	fs.DurationVar(&o.interval, "interval", 15*time.Minute, "measurement interval length")
 	fs.IntVar(&o.minsup, "minsup", 0, "absolute minimum support (0 = use -relsup)")
 	fs.Float64Var(&o.relsup, "relsup", 0.05, "minimum support as a fraction of the suspicious flows")
@@ -73,8 +98,30 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if o.in == "" {
-		return nil, fmt.Errorf("anomalyx: -in is required")
+	switch o.mode {
+	case "run":
+		if o.in == "" {
+			return nil, fmt.Errorf("anomalyx: -in is required")
+		}
+	case "agent":
+		if o.in == "" {
+			return nil, fmt.Errorf("anomalyx: -in is required")
+		}
+		if o.connect == "" {
+			return nil, fmt.Errorf("anomalyx: agent mode requires -connect")
+		}
+		if o.agentID < 0 {
+			return nil, fmt.Errorf("anomalyx: agent mode requires -agent-id >= 0")
+		}
+	case "collector":
+		if o.listen == "" {
+			return nil, fmt.Errorf("anomalyx: collector mode requires -listen")
+		}
+		if o.agents < 1 {
+			return nil, fmt.Errorf("anomalyx: collector mode requires -agents >= 1")
+		}
+	default:
+		return nil, fmt.Errorf("anomalyx: unknown mode %q", o.mode)
 	}
 	return o, nil
 }
@@ -155,31 +202,7 @@ func run(o *options, in io.Reader, out io.Writer) (intervals, alarms int, err er
 	// Read in batches: SubmitBatch skips the per-record channel overhead
 	// (the intervals-closed return is consumed by the report goroutine
 	// via the Reports channel, so it is not needed here).
-	submitErr := func() error {
-		r := anomalyx.NewFlowReader(in)
-		batch := make([]anomalyx.Flow, 0, 512)
-		flush := func() error {
-			_, err := eng.SubmitBatch(batch)
-			batch = batch[:0]
-			return err
-		}
-		for {
-			rec, err := r.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			batch = append(batch, rec)
-			if len(batch) == cap(batch) {
-				if err := flush(); err != nil {
-					return err
-				}
-			}
-		}
-		return flush()
-	}()
+	submitErr := submitTrace(eng, in)
 	// Always close the engine and join the report consumer before
 	// returning: the counts it writes are only settled after done.
 	closeErr := eng.Close()
@@ -195,6 +218,100 @@ func run(o *options, in io.Reader, out io.Writer) (intervals, alarms int, err er
 	return intervals, alarms, err
 }
 
+// submitTrace streams the v5 trace from in into the engine in batches
+// of 512 records.
+func submitTrace(eng *anomalyx.Engine, in io.Reader) error {
+	r := anomalyx.NewFlowReader(in)
+	batch := make([]anomalyx.Flow, 0, 512)
+	flush := func() error {
+		_, err := eng.SubmitBatch(batch)
+		batch = batch[:0]
+		return err
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		batch = append(batch, rec)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// runAgent streams the trace through a local pipeline that drains and
+// ships every interval to the collector at o.connect; it returns the
+// number of intervals shipped. No detection happens here — the stub
+// per-interval reports carry only flow counts.
+func runAgent(o *options, in io.Reader, out io.Writer) (intervals int, err error) {
+	engCfg, err := o.engineConfig()
+	if err != nil {
+		return 0, err
+	}
+	agent, err := anomalyx.DialCollector(o.connect, o.agentID, engCfg.Pipeline)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := anomalyx.NewAgentEngine(engCfg, agent, o.shards)
+	if err != nil {
+		agent.Close()
+		return 0, err
+	}
+	done := make(chan error, 1)
+	go func() {
+		for rep := range eng.Reports() {
+			if o.verbose {
+				fmt.Fprintf(out, "interval %4d: %7d flows shipped\n", intervals, rep.TotalFlows)
+			}
+			intervals++
+		}
+		done <- eng.Err()
+	}()
+	submitErr := submitTrace(eng, in)
+	closeErr := eng.Close()
+	repErr := <-done
+	// The Bye frame must trail the final interval the engine flushed.
+	agentErr := agent.Close()
+	for _, e := range []error{submitErr, closeErr, repErr, agentErr} {
+		if e != nil {
+			return intervals, e
+		}
+	}
+	return intervals, nil
+}
+
+// serveCollector accepts o.agents connections on ln and prints the
+// merged per-interval reports, exactly as a local run would.
+func serveCollector(o *options, ln net.Listener, out io.Writer) (intervals, alarms int, err error) {
+	engCfg, err := o.engineConfig()
+	if err != nil {
+		return 0, 0, err
+	}
+	coll, err := anomalyx.NewCollector(engCfg.Pipeline, o.agents)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer coll.Close()
+	err = coll.Serve(ln, func(rep *anomalyx.Report) error {
+		if rep.Alarm || o.verbose {
+			printReport(out, rep, intervals, o.top)
+		}
+		if rep.Alarm {
+			alarms++
+		}
+		intervals++
+		return nil
+	})
+	return intervals, alarms, err
+}
+
 func main() {
 	o, err := parseArgs(os.Args[1:], os.Stderr)
 	if err == flag.ErrHelp {
@@ -204,16 +321,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	f, err := os.Open(o.in)
-	if err != nil {
-		fatal(err)
+	switch o.mode {
+	case "collector":
+		ln, err := net.Listen("tcp", o.listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		intervals, alarms, err := serveCollector(o, ln, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmerged %d intervals from %d agents, %d alarms\n", intervals, o.agents, alarms)
+	case "agent":
+		f, err := os.Open(o.in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		intervals, err := runAgent(o, f, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nshipped %d intervals to %s\n", intervals, o.connect)
+	default:
+		f, err := os.Open(o.in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		intervals, alarms, err := run(o, f, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nprocessed %d intervals, %d alarms\n", intervals, alarms)
 	}
-	defer f.Close()
-	intervals, alarms, err := run(o, f, os.Stdout)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("\nprocessed %d intervals, %d alarms\n", intervals, alarms)
 }
 
 func printReport(w io.Writer, rep *anomalyx.Report, idx, top int) {

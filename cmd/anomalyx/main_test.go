@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -168,6 +170,151 @@ func TestRunShardsWorkersDeterminism(t *testing.T) {
 		if got != want {
 			t.Fatalf("%v: output diverged\ngot:\n%s\nwant:\n%s", combo, got, want)
 		}
+	}
+}
+
+// TestParseArgsModes pins the per-mode flag requirements: agent mode
+// needs an input, a collector address, and an ID; collector mode needs
+// a listen address and an agent count; unknown modes are rejected.
+func TestParseArgsModes(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-mode", "agent", "-in", "x", "-connect", "h:1", "-agent-id", "2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.mode != "agent" || o.connect != "h:1" || o.agentID != 2 {
+		t.Fatalf("agent flags not plumbed: %+v", o)
+	}
+	o, err = parseArgs([]string{"-mode", "collector", "-listen", ":1", "-agents", "3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.mode != "collector" || o.listen != ":1" || o.agents != 3 {
+		t.Fatalf("collector flags not plumbed: %+v", o)
+	}
+	for _, bad := range [][]string{
+		{"-mode", "agent", "-connect", "h:1", "-agent-id", "0"}, // no -in
+		{"-mode", "agent", "-in", "x", "-agent-id", "0"},        // no -connect
+		{"-mode", "agent", "-in", "x", "-connect", "h:1"},       // no -agent-id
+		{"-mode", "collector", "-agents", "2"},                  // no -listen
+		{"-mode", "collector", "-listen", ":1"},                 // no -agents
+		{"-mode", "swarm", "-in", "x"},                          // unknown mode
+	} {
+		if _, err := parseArgs(bad, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+	}
+}
+
+// TestDistributedModesMatchLocalRun drives the CLI's agent and
+// collector paths end to end over loopback: two agents stream disjoint
+// halves of a trace to a collector, whose printed reports must be
+// byte-identical to a local -mode run over the whole trace.
+func TestDistributedModesMatchLocalRun(t *testing.T) {
+	cfg := tracegen.SmallConfig()
+	cfg.Intervals, cfg.BaseFlows = 8, 1500
+	cfg.Events = tracegen.Schedule(cfg.Intervals, cfg.BaseFlows)
+	gen := tracegen.New(cfg)
+	var whole, part0, part1 bytes.Buffer
+	writers := []*netflow.Writer{
+		netflow.NewWriter(&whole, cfg.IntervalStart(0)),
+		netflow.NewWriter(&part0, cfg.IntervalStart(0)),
+		netflow.NewWriter(&part1, cfg.IntervalStart(0)),
+	}
+	for i := 0; i < cfg.Intervals; i++ {
+		recs := gen.Interval(i)
+		if i == 6 {
+			for j := range recs {
+				if j%3 == 0 {
+					recs[j].DstAddr, recs[j].DstPort = 42, 31337
+					recs[j].Packets, recs[j].Bytes = 1, 40
+				}
+			}
+		}
+		for j, rec := range recs {
+			if err := writers[0].Write(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := writers[1+j%2].Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, w := range writers {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	baseArgs := []string{"-interval", "15m", "-bins", "256", "-train", "4", "-v"}
+	localOpts, err := parseArgs(append([]string{"-in", "x"}, baseArgs...), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localOut bytes.Buffer
+	wantIntervals, wantAlarms, err := run(localOpts, bytes.NewReader(whole.Bytes()), &localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantAlarms == 0 {
+		t.Fatal("local reference run never alarmed")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	collOpts, err := parseArgs(append([]string{
+		"-mode", "collector", "-listen", "ignored", "-agents", "2",
+	}, baseArgs...), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var collOut bytes.Buffer
+	type collResult struct {
+		intervals, alarms int
+		err               error
+	}
+	collDone := make(chan collResult, 1)
+	go func() {
+		intervals, alarms, err := serveCollector(collOpts, ln, &collOut)
+		collDone <- collResult{intervals, alarms, err}
+	}()
+
+	parts := [][]byte{part0.Bytes(), part1.Bytes()}
+	agentErrs := make(chan error, len(parts))
+	for id := range parts {
+		go func(id int) {
+			o, err := parseArgs(append([]string{
+				"-mode", "agent", "-in", "x", "-connect", ln.Addr().String(),
+				"-agent-id", fmt.Sprint(id),
+			}, baseArgs...), io.Discard)
+			if err != nil {
+				agentErrs <- err
+				return
+			}
+			_, err = runAgent(o, bytes.NewReader(parts[id]), io.Discard)
+			agentErrs <- err
+		}(id)
+	}
+	for range parts {
+		if err := <-agentErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := <-collDone
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.intervals != wantIntervals || res.alarms != wantAlarms {
+		t.Fatalf("collector counts (%d, %d) diverged from local run (%d, %d)",
+			res.intervals, res.alarms, wantIntervals, wantAlarms)
+	}
+	if collOut.String() != localOut.String() {
+		t.Fatalf("collector output diverged from local run\ngot:\n%s\nwant:\n%s",
+			collOut.String(), localOut.String())
 	}
 }
 

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+)
+
+// PipelineSnapshot is the exported state of a Pipeline: the detector
+// bank's full state plus the current interval's buffered flow records.
+// Restoring it into a pipeline built from the same Config reproduces the
+// original exactly — subsequent reports are byte-identical — which is
+// the invariant the wire codec's round-trip tests pin down. Like the
+// bank and histogram snapshots it carries state only; configuration
+// matching is the caller's contract (the wire handshake digests it).
+type PipelineSnapshot struct {
+	Bank   detector.BankSnapshot
+	Buffer []flow.Record
+}
+
+// Snapshot captures the pipeline's full state: bank history plus the
+// open interval's flow buffer. The result shares no memory with the
+// pipeline.
+func (p *Pipeline) Snapshot() PipelineSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PipelineSnapshot{
+		Bank:   p.bank.Snapshot(),
+		Buffer: append([]flow.Record(nil), p.buffer...),
+	}
+}
+
+// RestoreSnapshot replaces the pipeline's state with s. The pipeline
+// must share the snapshot source's configuration (features, detector
+// parameters).
+func (p *Pipeline) RestoreSnapshot(s PipelineSnapshot) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.bank.RestoreSnapshot(s.Bank); err != nil {
+		return err
+	}
+	p.buffer = append(p.buffer[:0], s.Buffer...)
+	return nil
+}
+
+// DrainSnapshot captures the pipeline's state and then clears the open
+// interval — clone histograms reset, flow buffer emptied — leaving the
+// pipeline ready to accumulate the next interval without having closed
+// detection. This is the distributed agent step: the agent drains at
+// each interval boundary and ships the snapshot to the collector, which
+// absorbs it (via the Absorb merge path) into the primary pipeline that
+// owns the detection history. An agent pipeline never calls EndInterval,
+// so its own history stays empty and the drained snapshot is effectively
+// just the open interval.
+func (p *Pipeline) DrainSnapshot() PipelineSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PipelineSnapshot{
+		Bank:   p.bank.Snapshot(),
+		Buffer: append([]flow.Record(nil), p.buffer...),
+	}
+	p.bank.ResetInterval()
+	p.buffer = p.buffer[:0]
+	return s
+}

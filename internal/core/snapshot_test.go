@@ -1,0 +1,183 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+)
+
+// snapRecords synthesizes one interval's records with a stable popular
+// structure and an optional dstPort flood.
+func snapRecords(interval, n int, flood bool) []flow.Record {
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		recs[i] = flow.Record{
+			SrcAddr: uint32(i%89) + 1,
+			DstAddr: uint32(i%71) + 1,
+			SrcPort: uint16(i % 47),
+			DstPort: uint16(i % 29),
+			Packets: uint32(i%5) + 1,
+			Bytes:   uint64(i%11)*40 + 40,
+			Start:   int64(interval) * 1000,
+		}
+		if flood && i%2 == 0 {
+			recs[i].DstAddr, recs[i].DstPort = 42, 31337
+			recs[i].Packets, recs[i].Bytes = 1, 40
+		}
+	}
+	return recs
+}
+
+func snapConfig() Config {
+	return Config{Detector: detector.Config{Bins: 64, TrainIntervals: 3, Seed: 9}}
+}
+
+// TestPipelineSnapshotRestore: a restored pipeline carries the full
+// detection history and the open interval's flow buffer, so subsequent
+// reports — including an alarming interval's extraction — match the
+// original exactly.
+func TestPipelineSnapshotRestore(t *testing.T) {
+	orig, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := orig.ProcessInterval(snapRecords(i, 900, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig.ObserveBatch(snapRecords(6, 400, false))
+
+	s := orig.Snapshot()
+	if len(s.Buffer) != 400 {
+		t.Fatalf("snapshot buffer has %d records, want 400", len(s.Buffer))
+	}
+	restored, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Snapshot(), s) {
+		t.Fatal("restored pipeline re-snapshots differently")
+	}
+	alarmed := false
+	for i := 6; i < 10; i++ {
+		rest := snapRecords(i, 900, i == 7)
+		if i == 6 {
+			rest = rest[400:]
+		}
+		orig.ObserveBatch(rest)
+		restored.ObserveBatch(rest)
+		want, err := orig.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		alarmed = alarmed || want.Alarm
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("interval %d diverged after restore:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if !alarmed {
+		t.Fatal("post-restore intervals never alarmed; extraction not compared")
+	}
+}
+
+// TestPipelineDrainSnapshot: draining captures bank state and buffer,
+// then leaves the pipeline empty for the next interval — and an
+// absorb-after-restore of the drained state reproduces a direct run.
+func TestPipelineDrainSnapshot(t *testing.T) {
+	direct, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	agent, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	primary, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	scratch, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scratch.Close()
+
+	for i := 0; i < 7; i++ {
+		recs := snapRecords(i, 900, i == 5)
+		direct.ObserveBatch(recs)
+		agent.ObserveBatch(recs)
+
+		snap := agent.DrainSnapshot()
+		if len(snap.Buffer) != len(recs) {
+			t.Fatalf("interval %d: drained %d records, want %d", i, len(snap.Buffer), len(recs))
+		}
+		// The drained pipeline is empty: an immediate re-drain carries
+		// nothing.
+		if rd := agent.DrainSnapshot(); len(rd.Buffer) != 0 {
+			t.Fatalf("interval %d: re-drain still holds %d records", i, len(rd.Buffer))
+		}
+		for _, ds := range snap.Bank.Detectors {
+			for _, hs := range ds.Clones {
+				if hs.Total == 0 {
+					t.Fatalf("interval %d: drained snapshot has empty clone", i)
+				}
+			}
+		}
+		if err := scratch.RestoreSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Absorb(scratch); err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := primary.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("interval %d: absorb-of-drain diverged from direct run:\n got %+v\nwant %+v",
+				i, got, want)
+		}
+	}
+}
+
+// TestPipelineRestoreRejectsShape: restoring across configurations
+// errors instead of corrupting state.
+func TestPipelineRestoreRejectsShape(t *testing.T) {
+	p, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.ObserveBatch(snapRecords(0, 100, false))
+	s := p.Snapshot()
+
+	cfg := snapConfig()
+	cfg.Features = []flow.FeatureKind{flow.SrcIP, flow.DstIP}
+	other, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.RestoreSnapshot(s); err == nil {
+		t.Error("restore across feature sets accepted")
+	}
+}

@@ -62,6 +62,13 @@ func (c Config) metricFunc() histogram.Metric {
 	return histogram.KL
 }
 
+// WithDefaults returns c with unset fields filled with the paper's
+// defaults — the exact normalization New applies before construction.
+// Exported so other packages can compare or digest *effective*
+// configurations (the wire handshake hashes the defaulted config, so an
+// explicit Bins: 1024 and an implicit zero digest identically).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // Defaults fills unset fields with the paper's defaults.
 func (c Config) withDefaults() Config {
 	if c.Bins == 0 {

@@ -80,13 +80,29 @@ func (c Config) withDefaults() Config {
 }
 
 // Sink is the extraction backend an engine drives: a single
-// core.Pipeline or a hash-partitioned shard.ShardedPipeline. Both
-// accumulate observed flows into the current measurement interval and
-// close it on EndInterval.
+// core.Pipeline, a hash-partitioned shard.ShardedPipeline, or a custom
+// backend injected with NewWithSink (the wire package's distributed
+// agent, which ships each interval to a remote collector instead of
+// closing detection locally). All accumulate observed flows into the
+// current measurement interval and close it on EndInterval.
 type Sink interface {
 	ObserveBatch([]flow.Record)
 	EndInterval() (*core.Report, error)
 	Close()
+}
+
+// BoundarySink is an optional Sink extension for backends that need to
+// know *which* interval is closing: EndIntervalAt receives the grid end
+// of the closing interval (Unix milliseconds — the boundary the records
+// crossed, or the in-progress interval's boundary for the final flush at
+// Close; 0 when the stream held no records at all). The engine calls
+// EndIntervalAt instead of EndInterval when the sink implements it. The
+// distributed agent uses this to tag shipped snapshots with an absolute
+// boundary, so a collector can merge intervals from agents whose streams
+// started or ended at different times.
+type BoundarySink interface {
+	Sink
+	EndIntervalAt(boundary int64) (*core.Report, error)
 }
 
 // msg is one unit of the submit→process stream: a single record, a
@@ -98,9 +114,10 @@ type Sink interface {
 // slot, so a lockstep consumer (submit, then read the returned number of
 // reports) cannot wedge the input buffer no matter how long the gap.
 type msg struct {
-	rec  flow.Record
-	recs []flow.Record // batch; nil for single-record and cut messages
-	cuts int           // close this many intervals; no payload
+	rec      flow.Record
+	recs     []flow.Record // batch; nil for single-record and cut messages
+	cuts     int           // close this many intervals; no payload
+	boundary int64         // grid end of the first closed interval (cut messages only)
 }
 
 // Engine is the streaming front end. Submit and SubmitBatch may be
@@ -132,26 +149,11 @@ type Engine struct {
 
 // New builds an engine and starts its processing goroutine.
 func New(cfg Config) (*Engine, error) {
-	cfg = cfg.withDefaults()
-	if cfg.IntervalLen < time.Millisecond {
-		// Flow timestamps are in milliseconds; anything finer truncates
-		// to a zero-length boundary grid.
-		return nil, fmt.Errorf("engine: interval length %v below 1ms resolution", cfg.IntervalLen)
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Shards < 0 {
-		// Reject rather than silently running unsharded: shard.New
-		// errors on the same input, and the two entry points should
-		// agree.
-		return nil, fmt.Errorf("engine: negative shard count %d", cfg.Shards)
-	}
-	e := &Engine{
-		cfg:  cfg,
-		in:   make(chan msg, cfg.Buffer),
-		out:  make(chan *core.Report, 16),
-		fin:  make(chan struct{}),
-		done: make(chan struct{}),
-	}
-	if cfg.Shards > 1 {
+	if cfg = e.cfg; cfg.Shards > 1 {
 		sp, err := shard.New(shard.Config{Shards: cfg.Shards, Pipeline: cfg.Pipeline})
 		if err != nil {
 			return nil, err
@@ -166,6 +168,51 @@ func New(cfg Config) (*Engine, error) {
 	}
 	go e.run()
 	return e, nil
+}
+
+// NewWithSink builds an engine around a caller-provided extraction
+// backend and starts its processing goroutine. The engine owns the
+// stream mechanics — interval sharding by flow start time, batching,
+// backpressure — while the sink decides what an interval close means;
+// the wire package's distributed agent injects a sink that drains its
+// pipeline's open interval and ships it to a collector. cfg.Pipeline and
+// cfg.Shards are ignored (the sink already embodies them); the engine
+// Closes the sink when it is Closed, and Pipeline() returns nil.
+func NewWithSink(cfg Config, sink Sink) (*Engine, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("engine: nil sink")
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.sink = sink
+	go e.run()
+	return e, nil
+}
+
+// newEngine validates cfg and builds the channel plumbing; the caller
+// sets the sink and starts run.
+func newEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.IntervalLen < time.Millisecond {
+		// Flow timestamps are in milliseconds; anything finer truncates
+		// to a zero-length boundary grid.
+		return nil, fmt.Errorf("engine: interval length %v below 1ms resolution", cfg.IntervalLen)
+	}
+	if cfg.Shards < 0 {
+		// Reject rather than silently running unsharded: shard.New
+		// errors on the same input, and the two entry points should
+		// agree.
+		return nil, fmt.Errorf("engine: negative shard count %d", cfg.Shards)
+	}
+	return &Engine{
+		cfg:  cfg,
+		in:   make(chan msg, cfg.Buffer),
+		out:  make(chan *core.Report, 16),
+		fin:  make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
 }
 
 // Config returns the engine's effective configuration.
@@ -185,7 +232,8 @@ func (e *Engine) BoundaryAfter(ms int64) int64 {
 func (e *Engine) Sink() Sink { return e.sink }
 
 // Pipeline exposes the underlying unsharded extraction pipeline; it is
-// nil when the engine runs sharded (Config.Shards > 1) — use Sink then.
+// nil when the engine runs sharded (Config.Shards > 1) or around an
+// injected sink (NewWithSink) — use Sink then.
 func (e *Engine) Pipeline() *core.Pipeline { return e.p }
 
 // maxGapIntervals bounds how many empty intervals one timestamp gap may
@@ -209,6 +257,7 @@ func (e *Engine) advanceLocked(ts int64) int {
 		return 0
 	}
 	step := e.cfg.IntervalLen.Milliseconds()
+	first := e.boundary // grid end of the first interval this run closes
 	n := (ts-e.boundary)/step + 1
 	if n > maxGapIntervals {
 		// Clock jump: one cut for the interval in progress, fresh grid.
@@ -217,7 +266,7 @@ func (e *Engine) advanceLocked(ts int64) int {
 	} else {
 		e.boundary += n * step
 	}
-	e.in <- msg{cuts: int(n)}
+	e.in <- msg{cuts: int(n), boundary: first}
 	return int(n)
 }
 
@@ -321,17 +370,27 @@ func (e *Engine) run() {
 
 // process executes the record/cut stream: it groups single records into
 // batches, forwards pre-formed batches as-is, and closes an interval at
-// every cut marker; it returns the first pipeline error.
+// every cut marker; it returns the first pipeline error. Cut messages
+// carry the grid end of the first interval they close, so a BoundarySink
+// receives the absolute boundary of every closed interval.
 func (e *Engine) process() error {
 	batch := make([]flow.Record, 0, e.cfg.BatchSize)
+	bs, _ := e.sink.(BoundarySink)
+	step := e.cfg.IntervalLen.Milliseconds()
 
 	flushBatch := func() {
 		e.sink.ObserveBatch(batch)
 		batch = batch[:0]
 	}
-	endInterval := func() error {
+	endInterval := func(boundary int64) error {
 		flushBatch()
-		rep, err := e.sink.EndInterval()
+		var rep *core.Report
+		var err error
+		if bs != nil {
+			rep, err = bs.EndIntervalAt(boundary)
+		} else {
+			rep, err = e.sink.EndInterval()
+		}
 		if err != nil {
 			return err
 		}
@@ -343,7 +402,7 @@ func (e *Engine) process() error {
 		switch {
 		case m.cuts > 0:
 			for i := 0; i < m.cuts; i++ {
-				if err := endInterval(); err != nil {
+				if err := endInterval(m.boundary + int64(i)*step); err != nil {
 					return err
 				}
 			}
@@ -359,5 +418,12 @@ func (e *Engine) process() error {
 			}
 		}
 	}
-	return endInterval()
+	// Final flush: close the in-progress interval. Its boundary is the
+	// submit side's current grid end — settled, since Close forbids
+	// further submits before closing the input channel (taking submitMu
+	// also orders this read after any straggling Submit returned).
+	e.submitMu.Lock()
+	final := e.boundary
+	e.submitMu.Unlock()
+	return endInterval(final)
 }

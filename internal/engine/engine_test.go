@@ -580,3 +580,127 @@ func TestEngineClockJump(t *testing.T) {
 		t.Fatalf("engine emitted %d reports, want 2 (jump cut + final flush)", reports)
 	}
 }
+
+// boundarySink records every interval close it is handed — the
+// boundary values are the engine's contract with distributed sinks
+// (the wire package's agent ships snapshots keyed by them).
+type boundarySink struct {
+	mu         sync.Mutex
+	boundaries []int64
+	batches    int
+}
+
+func (s *boundarySink) ObserveBatch(recs []flow.Record) {
+	s.mu.Lock()
+	s.batches++
+	s.mu.Unlock()
+}
+
+func (s *boundarySink) EndIntervalAt(boundary int64) (*core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.boundaries = append(s.boundaries, boundary)
+	return &core.Report{Interval: len(s.boundaries) - 1}, nil
+}
+
+func (s *boundarySink) EndInterval() (*core.Report, error) {
+	return nil, errors.New("engine must prefer EndIntervalAt for a BoundarySink")
+}
+
+func (s *boundarySink) Close() {}
+
+// TestNewWithSinkBoundaries: an injected BoundarySink receives the
+// absolute grid end of every closed interval — for plain cuts, for
+// counted multi-interval gaps, and for the final flush at Close.
+func TestNewWithSinkBoundaries(t *testing.T) {
+	sink := &boundarySink{}
+	eng, err := NewWithSink(Config{IntervalLen: intervalLen}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range eng.Reports() {
+		}
+	}()
+
+	step := intervalLen.Milliseconds()
+	base := int64(1_700_000_000_000)
+	base -= base % step
+	// Interval 0: two records; then a gap straight to interval 3 (the
+	// cut message carries 3 counted cuts); then Close flushes interval 3.
+	eng.Submit(flow.Record{DstPort: 1, Start: base + 10})
+	eng.Submit(flow.Record{DstPort: 2, Start: base + 20})
+	n, err := eng.SubmitBatch([]flow.Record{{DstPort: 3, Start: base + 3*step + 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("gap closed %d intervals, want 3", n)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{base + step, base + 2*step, base + 3*step, base + 4*step}
+	if !reflect.DeepEqual(sink.boundaries, want) {
+		t.Fatalf("sink saw boundaries %v, want %v", sink.boundaries, want)
+	}
+	if sink.batches == 0 {
+		t.Fatal("sink never observed a batch")
+	}
+}
+
+// TestNewWithSinkEmptyStream: with no records at all the final flush
+// reports boundary 0 (unseeded grid) — the documented "no grid slot"
+// sentinel distributed sinks rely on.
+func TestNewWithSinkEmptyStream(t *testing.T) {
+	sink := &boundarySink{}
+	eng, err := NewWithSink(Config{IntervalLen: intervalLen}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range eng.Reports() {
+		}
+	}()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{0}; !reflect.DeepEqual(sink.boundaries, want) {
+		t.Fatalf("sink saw boundaries %v, want %v", sink.boundaries, want)
+	}
+}
+
+// TestNewWithSinkRejectsNil: a nil sink is a construction error.
+func TestNewWithSinkRejectsNil(t *testing.T) {
+	if _, err := NewWithSink(Config{}, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
+
+// TestNewWithSinkClockJump: past the maxGapIntervals bound the engine
+// re-seeds the grid, and the sink sees the pre-jump boundary once, then
+// boundaries on the new grid.
+func TestNewWithSinkClockJump(t *testing.T) {
+	sink := &boundarySink{}
+	eng, err := NewWithSink(Config{IntervalLen: intervalLen}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range eng.Reports() {
+		}
+	}()
+	step := intervalLen.Milliseconds()
+	base := int64(1_700_000_000_000)
+	base -= base % step
+	jump := base + (maxGapIntervals+10)*step
+	eng.Submit(flow.Record{DstPort: 1, Start: base})
+	eng.Submit(flow.Record{DstPort: 2, Start: jump + 5})
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{base + step, jump + step}
+	if !reflect.DeepEqual(sink.boundaries, want) {
+		t.Fatalf("sink saw boundaries %v, want %v", sink.boundaries, want)
+	}
+}

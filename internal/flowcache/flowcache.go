@@ -7,6 +7,11 @@
 // records directly; this package exists so that the pipeline can also be
 // fed from packet-level input, and so that metering effects (timeout
 // splitting of long flows) can be studied.
+//
+// Determinism: expiry is driven purely by packet timestamps and the
+// configured timeouts — no wall clock — and a full cache evicts in
+// least-recently-used order, so the same packet sequence always meters
+// into the same flow-record sequence.
 package flowcache
 
 import (

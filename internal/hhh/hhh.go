@@ -9,6 +9,11 @@
 // threshold phi*N. The discounting is what separates HHH from plain
 // per-prefix heavy hitters: a /16 only surfaces if its traffic is not
 // already explained by heavier /24s inside it.
+//
+// Results are deterministic: detection is exact (no sketching), counts
+// depend only on the flow multiset, and each level's HHH list is sorted
+// by descending discounted count with the prefix address as tiebreak,
+// so the same input yields the same output in the same order every run.
 package hhh
 
 import (

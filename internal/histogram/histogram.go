@@ -66,10 +66,20 @@ func (h *Histogram) AddN(v uint64, n uint64) {
 // Count returns the count of bin b.
 func (h *Histogram) Count(b int) uint64 { return h.counts[b] }
 
-// Counts returns the backing count slice. The caller must not modify it.
+// Counts returns the live backing count slice — a borrowed view, not a
+// copy. The caller must not modify it and must not retain it past the
+// next Add, Merge, Reset, or RestoreSnapshot: the slice aliases the
+// histogram's state, so a retained reference silently mutates under the
+// caller (Reset zeroes it in place). It exists for transient, read-only
+// hot-path use — computing a KL distance over the current bins without
+// an allocation. Any caller that stores the counts (interval rotation,
+// snapshots, reports) must use CountsCopy.
 func (h *Histogram) Counts() []uint64 { return h.counts }
 
-// CountsCopy returns a copy of the per-bin counts.
+// CountsCopy returns a freshly allocated copy of the per-bin counts,
+// safe to retain and modify independently of the histogram. This is the
+// required accessor whenever the counts outlive the current interval —
+// see Counts for the borrowed-view alternative and its aliasing hazard.
 func (h *Histogram) CountsCopy() []uint64 {
 	out := make([]uint64, len(h.counts))
 	copy(out, h.counts)

@@ -1,0 +1,96 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValueCount is one (feature value, observation count) pair of a bin's
+// tracked values.
+type ValueCount struct {
+	Value uint64
+	Count uint64
+}
+
+// Snapshot is the exported, plain-data state of a Histogram: everything
+// that accumulates between Resets, in a canonical form suitable for
+// serialization. Counts is always a private copy (never an alias of the
+// live histogram) and each bin's Values slice is sorted ascending by
+// Value, so two histograms holding the same observations always yield
+// deeply equal — and, once serialized, byte-identical — snapshots
+// regardless of insertion or map-iteration order.
+//
+// A Snapshot does not carry the hash function or bin count as
+// configuration: restoring requires a histogram already constructed with
+// the matching parameters (both sides of a wire transfer build their
+// histograms from the same detector Config and Seed).
+type Snapshot struct {
+	// Counts holds the per-bin counts; its length is the bin count K.
+	Counts []uint64
+	// Total is the observation count (the sum of Counts).
+	Total uint64
+	// Values is nil when value tracking is disabled; otherwise one slice
+	// per bin (nil for untouched bins), sorted ascending by Value.
+	Values [][]ValueCount
+}
+
+// Snapshot captures the histogram's current-interval state. The result
+// shares no memory with the histogram: Counts is a copy (the CountsCopy
+// contract — snapshots outlive the interval) and value maps are
+// flattened into sorted ValueCount slices.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Counts: h.CountsCopy(), Total: h.total}
+	if h.values == nil {
+		return s
+	}
+	s.Values = make([][]ValueCount, len(h.values))
+	for b, m := range h.values {
+		if len(m) == 0 {
+			continue
+		}
+		vs := make([]ValueCount, 0, len(m))
+		for v, n := range m {
+			vs = append(vs, ValueCount{Value: v, Count: n})
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Value < vs[j].Value })
+		s.Values[b] = vs
+	}
+	return s
+}
+
+// RestoreSnapshot replaces the histogram's accumulated state with s,
+// discarding whatever the current interval held. The histogram must have
+// been constructed with the snapshot's bin count and the same
+// value-tracking mode; the hash function is not checked (it is not part
+// of a snapshot) — restoring into a histogram built from a different
+// seed silently yields a histogram whose future Adds disagree with its
+// restored past, so callers must guarantee matching construction
+// parameters (the wire protocol does so with a config digest).
+func (h *Histogram) RestoreSnapshot(s Snapshot) error {
+	if len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("histogram: restore snapshot with %d bins into histogram with %d", len(s.Counts), len(h.counts))
+	}
+	if (s.Values != nil) != (h.values != nil) {
+		return fmt.Errorf("histogram: restore snapshot with mismatched value tracking")
+	}
+	if s.Values != nil && len(s.Values) != len(h.counts) {
+		return fmt.Errorf("histogram: restore snapshot with %d value bins into histogram with %d", len(s.Values), len(h.counts))
+	}
+	copy(h.counts, s.Counts)
+	h.total = s.Total
+	if h.values == nil {
+		return nil
+	}
+	for b := range h.values {
+		h.values[b] = nil
+		if b >= len(s.Values) || len(s.Values[b]) == 0 {
+			continue
+		}
+		m := make(map[uint64]uint64, len(s.Values[b]))
+		for _, vc := range s.Values[b] {
+			m[vc.Value] = vc.Count
+		}
+		h.values[b] = m
+	}
+	return nil
+}

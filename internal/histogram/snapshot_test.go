@@ -1,0 +1,124 @@
+package histogram
+
+import (
+	"reflect"
+	"testing"
+
+	"anomalyx/internal/hash"
+)
+
+// TestSnapshotRestoreRoundTrip: a restored histogram is indistinguishable
+// from the original — counts, total, tracked values, and subsequent
+// behaviour all match — and the snapshot shares no memory with either.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	fn := hash.New(7)
+	h := New(16, fn, true)
+	for v := uint64(0); v < 300; v++ {
+		h.AddN(v%37, v%5+1)
+	}
+	s := h.Snapshot()
+
+	// The snapshot must be a private copy: mutating the histogram must
+	// not change it (the CountsCopy contract).
+	before := append([]uint64(nil), s.Counts...)
+	h.Add(1)
+	if !reflect.DeepEqual(s.Counts, before) {
+		t.Fatal("snapshot counts alias the live histogram")
+	}
+	h.RestoreSnapshot(s) // undo the extra Add
+
+	r := New(16, fn, true)
+	if err := r.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Snapshot(), s) {
+		t.Fatal("restored histogram re-snapshots differently")
+	}
+	if r.Total() != h.Total() {
+		t.Fatalf("restored total %d != %d", r.Total(), h.Total())
+	}
+	for b := 0; b < 16; b++ {
+		if r.Count(b) != h.Count(b) {
+			t.Fatalf("bin %d: restored %d != %d", b, r.Count(b), h.Count(b))
+		}
+		if !reflect.DeepEqual(r.ValuesInBin(b), h.ValuesInBin(b)) {
+			t.Fatalf("bin %d: restored values differ", b)
+		}
+	}
+	// Subsequent adds agree too.
+	h.AddN(99, 3)
+	r.AddN(99, 3)
+	if !reflect.DeepEqual(r.Snapshot(), h.Snapshot()) {
+		t.Fatal("histograms diverge after post-restore adds")
+	}
+}
+
+// TestSnapshotCanonicalOrder: tracked values appear sorted ascending
+// per bin, regardless of insertion order.
+func TestSnapshotCanonicalOrder(t *testing.T) {
+	fn := hash.New(1)
+	a := New(4, fn, true)
+	b := New(4, fn, true)
+	vals := []uint64{9, 2, 700, 14, 3, 3, 9}
+	for _, v := range vals {
+		a.Add(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Add(vals[i])
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("equal observation multisets snapshot differently")
+	}
+	for bin, vs := range sa.Values {
+		for i := 1; i < len(vs); i++ {
+			if vs[i-1].Value >= vs[i].Value {
+				t.Fatalf("bin %d values not strictly ascending: %v", bin, vs)
+			}
+		}
+	}
+}
+
+// TestRestoreSnapshotRejectsShape: bin-count and tracking-mode
+// mismatches error instead of silently corrupting state.
+func TestRestoreSnapshotRejectsShape(t *testing.T) {
+	fn := hash.New(2)
+	tracked := New(8, fn, true)
+	tracked.Add(5)
+	s := tracked.Snapshot()
+
+	if err := New(16, fn, true).RestoreSnapshot(s); err == nil {
+		t.Error("restore across bin counts accepted")
+	}
+	if err := New(8, fn, false).RestoreSnapshot(s); err == nil {
+		t.Error("restore of a tracked snapshot into an untracked histogram accepted")
+	}
+	untracked := New(8, fn, false)
+	untracked.Add(5)
+	if err := tracked.RestoreSnapshot(untracked.Snapshot()); err == nil {
+		t.Error("restore of an untracked snapshot into a tracked histogram accepted")
+	}
+	bad := s
+	bad.Values = bad.Values[:4]
+	if err := New(8, fn, true).RestoreSnapshot(bad); err == nil {
+		t.Error("restore with truncated value bins accepted")
+	}
+}
+
+// TestRestoreSnapshotOverwrites: restoring discards whatever the
+// current interval held, including stale value maps.
+func TestRestoreSnapshotOverwrites(t *testing.T) {
+	fn := hash.New(3)
+	h := New(8, fn, true)
+	for v := uint64(0); v < 64; v++ {
+		h.Add(v)
+	}
+	fresh := New(8, fn, true)
+	fresh.Add(1)
+	if err := h.RestoreSnapshot(fresh.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.Snapshot(), fresh.Snapshot()) {
+		t.Fatal("restore left stale state behind")
+	}
+}

@@ -2,6 +2,13 @@
 // record maps to a transaction of exactly seven items, one per traffic
 // feature, and frequent item-set mining searches for sets of (feature,
 // value) pairs shared by at least a minimum-support number of flows.
+//
+// Ordering guarantees: FromFlows preserves flow order (transaction i is
+// flow i), NewSet canonicalizes a set's items into ascending
+// feature-kind order, and SortSets orders result slices by descending
+// support with size and lexicographic tiebreaks — the deterministic
+// shapes the cross-miner equivalence and byte-identical-report tests
+// rely on.
 package itemset
 
 import (

@@ -2,6 +2,13 @@
 // the Miner interface, the Result/level statistics the paper's Table II
 // reports, and the maximal-item-set filter of the "modified Apriori"
 // (§II-B) — used by the apriori, fpgrowth, and eclat implementations.
+//
+// The contract is deterministic and order-insensitive: a Result depends
+// only on the multiset of input transactions and the minimum support,
+// never on transaction order, and its item-set slices are in the
+// canonical itemset.SortSets order. That insensitivity is what lets
+// sharded and distributed interval closes concatenate suspicious flows
+// in shard or agent order and still produce byte-identical reports.
 package mining
 
 import (

@@ -6,6 +6,12 @@
 // item-sets; the miner raises its support threshold dynamically as
 // better candidates accumulate, pruning the search the same way a
 // well-chosen support would.
+//
+// The result is deterministic: the search visits candidates in a fixed
+// (support, item) order and the output is itemset.SortSets-sorted, so
+// the same transaction multiset yields the same top-k slice — including
+// which sets survive a tie at the k-th support — regardless of
+// transaction order.
 package topk
 
 import (

@@ -6,6 +6,12 @@
 // (AS559) peering link (§III-A). This package reproduces that ingestion
 // path: the synthetic trace generator exports standard v5 packets, and the
 // detectors consume records exactly as they would from a router export.
+//
+// The codecs are deterministic and order-preserving: the same record
+// sequence always serializes to the same bytes (records pack into
+// packets in write order at a fixed batch size), and readers yield
+// records in packet order — so traces are reproducible byte-for-byte
+// and a replayed trace drives the pipeline identically every run.
 package netflow
 
 import (

@@ -5,6 +5,11 @@
 // flow-disjoint meta-data, for which the intersection is empty while the
 // union covers every stage. Both strategies are provided; Intersection
 // exists as the DoWitcher-style comparison baseline (§IV).
+//
+// Ordering guarantee: Filter returns the matching flows in input order,
+// and FilterParallel chunks the scan across workers but concatenates
+// the per-chunk output in range order, so both are byte-identical for
+// every worker count — the property FuzzPrefilterParity pins down.
 package prefilter
 
 import (

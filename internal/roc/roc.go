@@ -2,7 +2,10 @@
 // detection evaluation of §III-B: given a per-interval detection score
 // (the first difference of the KL time series) and the ground-truth
 // labeling of intervals, it sweeps the alarm threshold and reports
-// (FPR, TPR) operating points.
+// (FPR, TPR) operating points. Curves are deterministic functions of
+// the (score, label) pairs: thresholds sweep the scores in descending
+// order and equal scores collapse into one operating point, so interval
+// order never changes a curve.
 package roc
 
 import (

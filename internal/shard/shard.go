@@ -193,6 +193,28 @@ func (s *ShardedPipeline) ProcessInterval(recs []flow.Record) (*core.Report, err
 	return s.EndInterval()
 }
 
+// DrainSnapshot merges every sibling shard's open interval into the
+// primary (the same Absorb path EndInterval uses) and drains the
+// primary: the returned snapshot holds the whole sharded pipeline's open
+// interval — merged clone histograms plus the concatenated flow buffers
+// in shard order — and every shard is left empty, ready for the next
+// interval. No detection runs; this is the distributed agent's interval
+// close, where an agent machine runs a locally sharded pipeline and
+// ships the merged interval to a collector that owns detection. Callers
+// must not observe flows concurrently with a drain (the engine
+// serializes this, as it does for EndInterval).
+func (s *ShardedPipeline) DrainSnapshot() (core.PipelineSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	primary := s.shards[0]
+	for _, sh := range s.shards[1:] {
+		if err := primary.Absorb(sh); err != nil {
+			return core.PipelineSnapshot{}, err
+		}
+	}
+	return primary.DrainSnapshot(), nil
+}
+
 // Close releases every shard's detector-bank worker pool. It is
 // idempotent. The sharded pipeline must not be used after Close.
 func (s *ShardedPipeline) Close() {

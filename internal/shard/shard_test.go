@@ -242,3 +242,66 @@ func BenchmarkShardedPipeline(b *testing.B) {
 		})
 	}
 }
+
+// TestShardedDrainSnapshot: draining a sharded pipeline merges every
+// shard's open interval into one snapshot — absorbing it elsewhere
+// reproduces a plain pipeline's report over the same records — and
+// leaves all shards empty for the next interval.
+func TestShardedDrainSnapshot(t *testing.T) {
+	trace := testTrace(6, 2000, 4)
+	cfg := testPipelineConfig()
+
+	direct, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	sharded, err := New(Config{Shards: 3, Pipeline: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	primary, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	scratch, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scratch.Close()
+
+	for i, recs := range trace {
+		direct.ObserveBatch(recs)
+		sharded.ObserveBatch(recs)
+
+		snap, err := sharded.DrainSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Buffer) != len(recs) {
+			t.Fatalf("interval %d: drained %d records, want %d", i, len(snap.Buffer), len(recs))
+		}
+		if redrain, err := sharded.DrainSnapshot(); err != nil || len(redrain.Buffer) != 0 {
+			t.Fatalf("interval %d: re-drain returned %d records, err %v", i, len(redrain.Buffer), err)
+		}
+		if err := scratch.RestoreSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Absorb(scratch); err != nil {
+			t.Fatal(err)
+		}
+		wantRep, err := direct.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRep, err := primary.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderReport(gotRep), renderReport(wantRep); got != want {
+			t.Fatalf("interval %d: drained shard report diverged:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}

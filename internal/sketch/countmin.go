@@ -5,7 +5,10 @@
 // here backs the cloning-vs-sketch ablation (DESIGN.md §5): both use
 // random projections, but the sketch answers "how many flows carried
 // value v" while the clones answer "which values disrupted the
-// distribution".
+// distribution". Like the histogram clones, the sketch is seeded and
+// deterministic: equal seeds give identical row hashes on every
+// platform and updates commute, so the same stream multiset always
+// produces the same counters.
 package sketch
 
 import (

@@ -3,6 +3,11 @@
 // binomial voting bounds of Eqs. (1)–(3) (§II-D), and the heavy-tailed
 // samplers that drive the synthetic backbone traffic model (§III-A
 // substitution, see DESIGN.md §3).
+//
+// Everything here is deterministic: the estimators are pure functions
+// of their sample slices (sorting internal copies, never the caller's
+// slice), and the samplers are seeded generators that replay the same
+// sequence for the same seed on every platform.
 package stats
 
 import (

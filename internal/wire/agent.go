@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/shard"
+)
+
+// Agent is the sending half of the protocol: it owns one connection to
+// a collector and ships drained interval snapshots over it. Methods are
+// serialized by an internal mutex; frames therefore appear on the wire
+// in ship order, which is the per-agent boundary monotonicity the
+// collector relies on.
+type Agent struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+	buf  []byte // encode scratch, reused across snapshots
+	err  error  // first write error; the stream is dead after it
+}
+
+// Dial connects to a collector, performs the Hello handshake for the
+// given agent ID, and returns the ready agent. cfg must be the same
+// pipeline configuration the collector was started with (its detection
+// digest is what the handshake carries).
+func Dial(addr string, agentID int, cfg core.Config) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing collector: %w", err)
+	}
+	a, err := NewAgent(conn, agentID, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewAgent wraps an established connection, sending the Hello frame.
+func NewAgent(conn net.Conn, agentID int, cfg core.Config) (*Agent, error) {
+	if agentID < 0 {
+		return nil, fmt.Errorf("wire: negative agent ID %d", agentID)
+	}
+	a := &Agent{conn: conn, w: bufio.NewWriter(conn)}
+	if err := writeFrame(a.w, frameHello, appendHello(nil, agentID, ConfigDigest(cfg))); err != nil {
+		return nil, err
+	}
+	if err := a.w.Flush(); err != nil {
+		return nil, fmt.Errorf("wire: sending hello: %w", err)
+	}
+	return a, nil
+}
+
+// ShipSnapshot sends one drained interval: the absolute grid boundary
+// (Unix ms) and the pipeline snapshot. Each snapshot is flushed whole,
+// so the collector sees complete intervals or nothing.
+func (a *Agent) ShipSnapshot(boundary int64, s core.PipelineSnapshot) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return a.err
+	}
+	a.buf = appendVarint(a.buf[:0], boundary)
+	a.buf = append(a.buf, codecVersion)
+	a.buf = AppendPipelineSnapshot(a.buf, s)
+	if err := writeFrame(a.w, frameSnapshot, a.buf); err != nil {
+		a.err = err
+		return err
+	}
+	if err := a.w.Flush(); err != nil {
+		a.err = fmt.Errorf("wire: flushing snapshot: %w", err)
+		return a.err
+	}
+	return nil
+}
+
+// Close sends the Bye frame and closes the connection. The final
+// partial interval must already have been shipped (the engine's Close
+// flushes it through the sink before the sink's Close runs).
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var err error
+	if a.err == nil {
+		err = writeFrame(a.w, frameBye, nil)
+		if err == nil {
+			err = a.w.Flush()
+		}
+	}
+	if cerr := a.conn.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wire: closing agent connection: %w", cerr)
+	}
+	return err
+}
+
+// AgentSink adapts an agent and a local sharded pipeline into an
+// engine.Sink: ObserveBatch accumulates into the pipeline, and each
+// interval close drains the open interval (merging local shards) and
+// ships it to the collector instead of running detection. The engine
+// invokes the BoundarySink form, so every shipped snapshot carries the
+// interval's absolute grid boundary. The stub reports it emits locally
+// carry only the interval ordinal and flow count — detection happens at
+// the collector.
+type AgentSink struct {
+	agent    *Agent
+	sp       *shard.ShardedPipeline
+	interval int
+}
+
+// NewAgentSink builds the sink. The sink takes ownership of sp (Close
+// closes it) but not of agent — callers close the agent after the
+// engine, so the Bye frame follows the final flushed snapshot.
+func NewAgentSink(agent *Agent, sp *shard.ShardedPipeline) *AgentSink {
+	return &AgentSink{agent: agent, sp: sp}
+}
+
+// ObserveBatch feeds a batch into the local pipeline.
+func (s *AgentSink) ObserveBatch(recs []flow.Record) { s.sp.ObserveBatch(recs) }
+
+// EndIntervalAt drains the open interval and ships it tagged with the
+// grid boundary. A boundary of 0 (stream held no records at all) ships
+// nothing — there is no grid slot to merge it into, and the drained
+// snapshot is empty by construction.
+func (s *AgentSink) EndIntervalAt(boundary int64) (*core.Report, error) {
+	snap, err := s.sp.DrainSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	rep := &core.Report{Interval: s.interval, TotalFlows: len(snap.Buffer)}
+	s.interval++
+	if boundary == 0 {
+		return rep, nil
+	}
+	if err := s.agent.ShipSnapshot(boundary, snap); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// EndInterval exists to satisfy engine.Sink; the engine always uses
+// EndIntervalAt (the sink implements BoundarySink) and a shipped
+// snapshot is meaningless without its boundary.
+func (s *AgentSink) EndInterval() (*core.Report, error) {
+	return nil, fmt.Errorf("wire: agent sink requires a boundary; drive it through the engine")
+}
+
+// Close releases the local pipeline's worker pools. The agent
+// connection stays open — close it after the engine, so Bye trails the
+// final snapshot.
+func (s *AgentSink) Close() { s.sp.Close() }

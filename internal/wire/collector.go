@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"anomalyx/internal/core"
+)
+
+// Collector is the receiving half of the protocol: it accepts one
+// connection per agent, groups incoming interval snapshots by their
+// absolute grid boundary, absorbs each group into its primary pipeline
+// in agent-ID order (the same Absorb merge path in-process sharding
+// uses), and closes detection there. Because the agents' histogram
+// clones are built from the same seeds as the collector's, the merged
+// state — and therefore every report — is byte-identical to a single
+// process having run all agent partitions as local shards.
+//
+// Agents whose streams start late or end early are handled by the
+// boundary keying: an agent contributes to exactly the grid intervals
+// its records fell into, and intervals it never saw merge without it —
+// just as its partition would have contributed nothing to them in a
+// single-process run.
+type Collector struct {
+	agents  int
+	digest  uint64
+	primary *core.Pipeline // owns all detection state
+	scratch *core.Pipeline // decode target, reused across snapshots
+}
+
+// NewCollector builds a collector for the given number of agents. cfg
+// is the full pipeline configuration — detection parameters must match
+// the agents' (enforced via the handshake digest), and the mining-side
+// settings (miner, support, prefilter) are the ones that actually run.
+func NewCollector(cfg core.Config, agents int) (*Collector, error) {
+	if agents < 1 {
+		return nil, fmt.Errorf("wire: collector needs at least 1 agent, got %d", agents)
+	}
+	primary, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	scratch, err := core.New(cfg)
+	if err != nil {
+		primary.Close()
+		return nil, err
+	}
+	return &Collector{
+		agents:  agents,
+		digest:  ConfigDigest(cfg),
+		primary: primary,
+		scratch: scratch,
+	}, nil
+}
+
+// Close releases the collector's pipelines. It must not be called while
+// Serve is running.
+func (c *Collector) Close() {
+	c.primary.Close()
+	c.scratch.Close()
+}
+
+// agentFrame is one decoded message from an agent's read loop.
+type agentFrame struct {
+	boundary int64
+	snap     core.PipelineSnapshot
+	bye      bool
+	err      error
+}
+
+// Serve accepts exactly the configured number of agent connections on
+// ln, then runs the merge loop until every agent has said Bye, calling
+// emit for each closed interval's report in boundary order. It returns
+// the first protocol, pipeline, or emit error. Serve runs the whole
+// session; it does not accept replacement connections.
+func (c *Collector) Serve(ln net.Listener, emit func(*core.Report) error) error {
+	conns := make([]net.Conn, c.agents)
+	defer func() {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+	// Handshake: every agent ID in [0, agents), each exactly once. The
+	// conns slice is indexed by agent ID, fixing the merge order no
+	// matter the connection order.
+	for i := 0; i < c.agents; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("wire: accepting agent connection: %w", err)
+		}
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if typ != frameHello {
+			conn.Close()
+			return fmt.Errorf("wire: expected hello frame, got type %d", typ)
+		}
+		h, err := decodeHello(payload)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if h.agentID < 0 || h.agentID >= c.agents {
+			conn.Close()
+			return fmt.Errorf("wire: agent ID %d out of range [0,%d)", h.agentID, c.agents)
+		}
+		if conns[h.agentID] != nil {
+			conn.Close()
+			return fmt.Errorf("wire: duplicate agent ID %d", h.agentID)
+		}
+		if h.digest != c.digest {
+			conn.Close()
+			return fmt.Errorf("wire: agent %d config digest %#x does not match collector %#x",
+				h.agentID, h.digest, c.digest)
+		}
+		conns[h.agentID] = conn
+	}
+
+	chans := make([]chan agentFrame, c.agents)
+	for id, conn := range conns {
+		chans[id] = make(chan agentFrame, 4)
+		go readAgent(conn, chans[id])
+	}
+	err := c.merge(chans, emit)
+	// Unblock any reader still sending after an early merge exit: the
+	// deferred conn closes error their reads out, and these drainers
+	// consume whatever they had in flight so they can terminate.
+	for _, ch := range chans {
+		go func(ch <-chan agentFrame) {
+			for range ch {
+			}
+		}(ch)
+	}
+	return err
+}
+
+// readAgent decodes one agent's frame stream into ch; it terminates on
+// Bye or error and always closes ch.
+func readAgent(conn net.Conn, ch chan<- agentFrame) {
+	defer close(ch)
+	br := bufio.NewReader(conn)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			ch <- agentFrame{err: err}
+			return
+		}
+		switch typ {
+		case frameSnapshot:
+			r := &reader{buf: payload}
+			boundary := r.varint()
+			if v := r.byte(); r.err() == nil && v != codecVersion {
+				r.fail("unsupported codec version %d (want %d)", v, codecVersion)
+			}
+			snap := decodePipelineBody(r)
+			r.expectEOF()
+			if r.err() == nil && boundary <= 0 {
+				r.fail("non-positive snapshot boundary %d", boundary)
+			}
+			if r.err() != nil {
+				ch <- agentFrame{err: r.err()}
+				return
+			}
+			ch <- agentFrame{boundary: boundary, snap: snap}
+		case frameBye:
+			ch <- agentFrame{bye: true}
+			return
+		default:
+			ch <- agentFrame{err: fmt.Errorf("wire: unexpected frame type %d", typ)}
+			return
+		}
+	}
+}
+
+// merge is the collector's heart: it keeps one pending snapshot per
+// live agent, repeatedly picks the smallest pending boundary, absorbs
+// every agent's snapshot for that boundary in agent-ID order, and
+// closes the interval on the primary pipeline.
+func (c *Collector) merge(chans []chan agentFrame, emit func(*core.Report) error) error {
+	heads := make([]*agentFrame, len(chans))
+	done := make([]bool, len(chans))
+	last := make([]int64, len(chans)) // per-agent boundary monotonicity check
+	closed := 0
+	for {
+		// Fill every live agent's head so the minimum below is over the
+		// complete frontier; a lagging agent blocks here (lockstep).
+		live := false
+		for id := range chans {
+			for !done[id] && heads[id] == nil {
+				f, ok := <-chans[id]
+				if !ok || f.bye {
+					done[id] = true
+					break
+				}
+				if f.err != nil {
+					return fmt.Errorf("wire: agent %d: %w", id, f.err)
+				}
+				if f.boundary <= last[id] {
+					return fmt.Errorf("wire: agent %d boundary %d not after %d", id, f.boundary, last[id])
+				}
+				last[id] = f.boundary
+				fr := f
+				heads[id] = &fr
+			}
+			live = live || heads[id] != nil
+		}
+		if !live {
+			break
+		}
+		var b int64
+		for _, h := range heads {
+			if h != nil && (b == 0 || h.boundary < b) {
+				b = h.boundary
+			}
+		}
+		// Absorb this boundary's snapshots in agent-ID order, then close
+		// the interval on the primary — exactly the in-process shard
+		// merge, with the wire in between.
+		for id, h := range heads {
+			if h == nil || h.boundary != b {
+				continue
+			}
+			if err := c.scratch.RestoreSnapshot(h.snap); err != nil {
+				return fmt.Errorf("wire: agent %d snapshot: %w", id, err)
+			}
+			if err := c.primary.Absorb(c.scratch); err != nil {
+				return fmt.Errorf("wire: absorbing agent %d: %w", id, err)
+			}
+			heads[id] = nil
+		}
+		rep, err := c.primary.EndInterval()
+		if err != nil {
+			return err
+		}
+		if err := emit(rep); err != nil {
+			return err
+		}
+		closed++
+	}
+	if closed == 0 {
+		// Parity with a single process over an empty stream: its engine
+		// still flushes one (empty) final interval on Close.
+		rep, err := c.primary.EndInterval()
+		if err != nil {
+			return err
+		}
+		return emit(rep)
+	}
+	return nil
+}

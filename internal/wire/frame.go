@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/flow"
+)
+
+// Frame types of the agent→collector stream.
+const (
+	// frameHello opens a connection: magic, protocol version, agent ID,
+	// and the detection-config digest.
+	frameHello = 1
+	// frameSnapshot carries one drained interval: the absolute grid
+	// boundary (Unix ms) followed by a version-prefixed pipeline
+	// snapshot.
+	frameSnapshot = 2
+	// frameBye announces a clean end of stream; the agent has already
+	// shipped its final partial interval as an ordinary snapshot frame.
+	frameBye = 3
+)
+
+// protoVersion is the framing/handshake version; bump together with any
+// protocol-shape change. Collectors reject other versions.
+const protoVersion = 1
+
+// helloMagic starts every Hello payload, so a collector fed a stray
+// connection fails with a clear error instead of a codec one.
+var helloMagic = [4]byte{'A', 'X', 'W', 'P'}
+
+// maxFrameLen bounds a frame payload (1 GiB). Snapshot frames carry a
+// whole interval's flow buffer, so the bound is generous; anything
+// larger is treated as stream corruption.
+const maxFrameLen = 1 << 30
+
+// writeFrame writes one length-prefixed frame: uint32 big-endian payload
+// length (including the type byte), the type byte, then the payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFrameLen {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// ConfigDigest hashes the detection-relevant configuration — the
+// monitored feature list and the *defaulted* detector template — into a
+// 64-bit value both ends of a connection must agree on. Two processes
+// with equal digests build histogram clones over the same feature
+// space, bin count, and seeded hash functions, which is exactly the
+// precondition for the Absorb merge path to be meaningful; mining-side
+// settings (miner choice, support, prefilter strategy) are deliberately
+// excluded, since only the collector's copies of those ever run.
+func ConfigDigest(cfg core.Config) uint64 {
+	feats := cfg.Features
+	if len(feats) == 0 {
+		feats = flow.DetectorFeatures[:]
+	}
+	d := cfg.Detector.WithDefaults()
+	var b []byte
+	b = appendUvarint(b, uint64(len(feats)))
+	for _, f := range feats {
+		b = appendUvarint(b, uint64(f))
+	}
+	b = appendUvarint(b, uint64(d.Bins))
+	b = appendUvarint(b, uint64(d.Clones))
+	b = appendUvarint(b, uint64(d.Votes))
+	b = appendFloat64(b, d.Alpha)
+	b = appendUvarint(b, uint64(d.TrainIntervals))
+	b = appendUvarint(b, uint64(d.HistoryWindow))
+	b = appendVarint(b, int64(d.MaxRemoveBins))
+	b = appendUvarint(b, d.Seed)
+	b = appendUvarint(b, uint64(d.Metric))
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// hello is the decoded handshake.
+type hello struct {
+	agentID int
+	digest  uint64
+}
+
+// appendHello encodes the handshake payload.
+func appendHello(b []byte, agentID int, digest uint64) []byte {
+	b = append(b, helloMagic[:]...)
+	b = appendUvarint(b, protoVersion)
+	b = appendUvarint(b, uint64(agentID))
+	return binary.LittleEndian.AppendUint64(b, digest)
+}
+
+// decodeHello parses a Hello payload.
+func decodeHello(payload []byte) (hello, error) {
+	r := &reader{buf: payload}
+	var magic [4]byte
+	for i := range magic {
+		magic[i] = r.byte()
+	}
+	if r.err() == nil && magic != helloMagic {
+		return hello{}, fmt.Errorf("wire: bad hello magic %q", magic[:])
+	}
+	if v := r.uvarint(); r.err() == nil && v != protoVersion {
+		return hello{}, fmt.Errorf("wire: unsupported protocol version %d (want %d)", v, protoVersion)
+	}
+	h := hello{agentID: int(r.uvarint())}
+	if r.rem() < 8 {
+		r.fail("truncated hello digest")
+	}
+	if r.err() != nil {
+		return hello{}, r.err()
+	}
+	h.digest = binary.LittleEndian.Uint64(payload[len(payload)-8:])
+	r.off += 8
+	r.expectEOF()
+	return h, r.err()
+}

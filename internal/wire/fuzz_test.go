@@ -1,0 +1,103 @@
+package wire_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/wire"
+)
+
+// FuzzWireRoundTrip drives a small pipeline from arbitrary bytes —
+// records, interval closes, and a drain are all derived from the input
+// — then checks the codec's two standing invariants on the resulting
+// snapshot:
+//
+//  1. canonical round trip: decode(encode(s)) is deeply equal to s and
+//     re-encodes byte-identically;
+//  2. lossless restore: a fresh pipeline restored from the decoded
+//     snapshot re-snapshots to the same canonical bytes.
+//
+// The raw input is also fed to the decoder directly, which must reject
+// or accept it without panicking, and accepted parses must re-encode
+// byte-identically (decode is the codec's inverse on its own image and
+// total everywhere else).
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 250, 251, 252, 253, 254, 255})
+	f.Add([]byte("interval\x00close\x07and\x0edrain\x15markers"))
+	f.Add(bytes.Repeat([]byte{7, 0, 130, 200, 13, 80, 80, 1}, 40))
+
+	cfg := core.Config{
+		Features: []flow.FeatureKind{flow.SrcIP, flow.DstPort},
+		Detector: detector.Config{Bins: 16, Clones: 2, Votes: 1, TrainIntervals: 2, Seed: 11},
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes must never panic the decoder; valid parses
+		// must re-encode to the same bytes.
+		if s, err := wire.DecodePipelineSnapshot(data); err == nil {
+			if enc := wire.EncodePipelineSnapshot(s); !bytes.Equal(enc, data) {
+				t.Fatalf("accepted input re-encodes differently:\n in %x\nout %x", data, enc)
+			}
+		}
+
+		p, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		// Interpret the input as a little op program: every 8 bytes form
+		// one record, and op bytes ending in 0x0 close the interval so
+		// the snapshot carries detection history, not just open state.
+		for len(data) >= 8 {
+			op, chunk := data[0], data[1:8]
+			data = data[8:]
+			if op&0xf == 0 {
+				if _, err := p.EndInterval(); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			rec := flow.Record{
+				SrcAddr: uint32(chunk[0])<<8 | uint32(chunk[1]),
+				DstAddr: uint32(chunk[2]),
+				SrcPort: uint16(chunk[3]),
+				DstPort: uint16(chunk[4]),
+				Packets: uint32(chunk[5]) + 1,
+				Bytes:   uint64(chunk[6]) * 40,
+				Start:   int64(op) * 1000,
+			}
+			rec.Protocol = []byte{flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP}[int(chunk[6])%3]
+			p.ObserveBatch([]flow.Record{rec})
+		}
+
+		snap := p.Snapshot()
+		enc := wire.EncodePipelineSnapshot(snap)
+		dec, err := wire.DecodePipelineSnapshot(enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(dec, snap) {
+			t.Fatal("decoded snapshot differs from the original")
+		}
+		if enc2 := wire.EncodePipelineSnapshot(dec); !bytes.Equal(enc, enc2) {
+			t.Fatal("re-encoding the decoded snapshot changed the bytes")
+		}
+
+		restored, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer restored.Close()
+		if err := restored.RestoreSnapshot(dec); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		if enc3 := wire.EncodePipelineSnapshot(restored.Snapshot()); !bytes.Equal(enc, enc3) {
+			t.Fatal("restored pipeline re-snapshots to different bytes")
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"fmt"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/histogram"
+)
+
+// appendHistogram encodes one histogram snapshot: bin count, per-bin
+// counts, total, and — when value tracking is on — each bin's tracked
+// values. The snapshot's canonical form (values ascending per bin) is
+// written verbatim, which is what makes the encoding deterministic.
+func appendHistogram(b []byte, s histogram.Snapshot) []byte {
+	b = appendUvarint(b, uint64(len(s.Counts)))
+	for _, c := range s.Counts {
+		b = appendUvarint(b, c)
+	}
+	b = appendUvarint(b, s.Total)
+	if s.Values == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	for _, vs := range s.Values {
+		b = appendUvarint(b, uint64(len(vs)))
+		for _, vc := range vs {
+			b = appendUvarint(b, vc.Value)
+			b = appendUvarint(b, vc.Count)
+		}
+	}
+	return b
+}
+
+func decodeHistogram(r *reader) histogram.Snapshot {
+	var s histogram.Snapshot
+	k := r.length(1)
+	s.Counts = make([]uint64, k)
+	for i := range s.Counts {
+		s.Counts[i] = r.uvarint()
+	}
+	s.Total = r.uvarint()
+	switch tracked := r.byte(); tracked {
+	case 0:
+		return s
+	case 1:
+	default:
+		r.fail("invalid value-tracking flag %d", tracked)
+		return s
+	}
+	s.Values = make([][]histogram.ValueCount, k)
+	for b := range s.Values {
+		n := r.length(2)
+		if n == 0 {
+			continue
+		}
+		vs := make([]histogram.ValueCount, n)
+		for i := range vs {
+			vs[i].Value = r.uvarint()
+			vs[i].Count = r.uvarint()
+		}
+		s.Values[b] = vs
+	}
+	return s
+}
+
+// appendDetector encodes one detector snapshot: the open interval's
+// clone histograms, then the detection history (reference counts, KL
+// series, pooled first differences, interval counter).
+func appendDetector(b []byte, s detector.Snapshot) []byte {
+	b = appendUvarint(b, uint64(len(s.Clones)))
+	for _, hs := range s.Clones {
+		b = appendHistogram(b, hs)
+	}
+	b = appendUvarint(b, uint64(len(s.Prev)))
+	for _, prev := range s.Prev {
+		b = appendUvarint(b, uint64(len(prev)))
+		for _, c := range prev {
+			b = appendUvarint(b, c)
+		}
+	}
+	b = appendUvarint(b, uint64(len(s.KLPrev)))
+	for _, kl := range s.KLPrev {
+		b = appendFloat64(b, kl)
+	}
+	b = append(b, boolByte(s.HavePrev), boolByte(s.HaveKL))
+	b = appendUvarint(b, uint64(len(s.Diffs)))
+	for _, d := range s.Diffs {
+		b = appendFloat64(b, d)
+	}
+	return appendUvarint(b, uint64(s.Interval))
+}
+
+func decodeDetector(r *reader) detector.Snapshot {
+	var s detector.Snapshot
+	s.Clones = make([]histogram.Snapshot, r.length(3))
+	for i := range s.Clones {
+		s.Clones[i] = decodeHistogram(r)
+	}
+	s.Prev = make([][]uint64, r.length(1))
+	for i := range s.Prev {
+		prev := make([]uint64, r.length(1))
+		for j := range prev {
+			prev[j] = r.uvarint()
+		}
+		s.Prev[i] = prev
+	}
+	s.KLPrev = make([]float64, r.length(8))
+	for i := range s.KLPrev {
+		s.KLPrev[i] = r.float64()
+	}
+	s.HavePrev = decodeBool(r)
+	s.HaveKL = decodeBool(r)
+	// nil for empty, matching Detector.Snapshot's append-to-nil shape, so
+	// decode(encode(s)) is deeply equal to s, not just equivalent.
+	if n := r.length(8); n > 0 {
+		s.Diffs = make([]float64, n)
+		for i := range s.Diffs {
+			s.Diffs[i] = r.float64()
+		}
+	}
+	s.Interval = int(r.uvarint())
+	return s
+}
+
+// appendBank encodes a bank snapshot: the detectors in feature order.
+func appendBank(b []byte, s detector.BankSnapshot) []byte {
+	b = appendUvarint(b, uint64(len(s.Detectors)))
+	for _, ds := range s.Detectors {
+		b = appendDetector(b, ds)
+	}
+	return b
+}
+
+func decodeBank(r *reader) detector.BankSnapshot {
+	var s detector.BankSnapshot
+	s.Detectors = make([]detector.Snapshot, r.length(8))
+	for i := range s.Detectors {
+		s.Detectors[i] = decodeDetector(r)
+	}
+	return s
+}
+
+// appendRecord encodes one flow record. Every field is carried —
+// including TCP flags and both timestamps — so a restored buffer
+// prefilters and mines exactly like the original.
+func appendRecord(b []byte, rec *flow.Record) []byte {
+	b = appendUvarint(b, uint64(rec.SrcAddr))
+	b = appendUvarint(b, uint64(rec.DstAddr))
+	b = appendUvarint(b, uint64(rec.SrcPort))
+	b = appendUvarint(b, uint64(rec.DstPort))
+	b = append(b, rec.Protocol, rec.TCPFlags)
+	b = appendUvarint(b, uint64(rec.Packets))
+	b = appendUvarint(b, rec.Bytes)
+	b = appendVarint(b, rec.Start)
+	return appendVarint(b, rec.End)
+}
+
+func decodeRecord(r *reader) flow.Record {
+	var rec flow.Record
+	rec.SrcAddr = uint32(r.uvarint())
+	rec.DstAddr = uint32(r.uvarint())
+	rec.SrcPort = uint16(r.uvarint())
+	rec.DstPort = uint16(r.uvarint())
+	rec.Protocol = r.byte()
+	rec.TCPFlags = r.byte()
+	rec.Packets = uint32(r.uvarint())
+	rec.Bytes = r.uvarint()
+	rec.Start = r.varint()
+	rec.End = r.varint()
+	return rec
+}
+
+// EncodeBankSnapshot serializes a bank snapshot, prefixed with the codec
+// version. The encoding is canonical: equal snapshots yield equal bytes.
+func EncodeBankSnapshot(s detector.BankSnapshot) []byte {
+	return appendBank([]byte{codecVersion}, s)
+}
+
+// DecodeBankSnapshot parses an EncodeBankSnapshot payload. It rejects
+// unknown codec versions, truncated input, and trailing bytes.
+func DecodeBankSnapshot(b []byte) (detector.BankSnapshot, error) {
+	r := &reader{buf: b}
+	if v := r.byte(); r.err() == nil && v != codecVersion {
+		return detector.BankSnapshot{}, fmt.Errorf("wire: unsupported codec version %d (want %d)", v, codecVersion)
+	}
+	s := decodeBank(r)
+	r.expectEOF()
+	return s, r.err()
+}
+
+// EncodePipelineSnapshot serializes a pipeline snapshot — bank state
+// plus the open interval's flow buffer — prefixed with the codec
+// version. The encoding is canonical: equal snapshots yield equal bytes.
+func EncodePipelineSnapshot(s core.PipelineSnapshot) []byte {
+	return AppendPipelineSnapshot([]byte{codecVersion}, s)
+}
+
+// AppendPipelineSnapshot appends the body of a pipeline snapshot
+// (without the version byte) to b and returns the extended slice.
+func AppendPipelineSnapshot(b []byte, s core.PipelineSnapshot) []byte {
+	b = appendBank(b, s.Bank)
+	b = appendUvarint(b, uint64(len(s.Buffer)))
+	for i := range s.Buffer {
+		b = appendRecord(b, &s.Buffer[i])
+	}
+	return b
+}
+
+// DecodePipelineSnapshot parses an EncodePipelineSnapshot payload. It
+// rejects unknown codec versions, truncated input, and trailing bytes.
+func DecodePipelineSnapshot(b []byte) (core.PipelineSnapshot, error) {
+	r := &reader{buf: b}
+	if v := r.byte(); r.err() == nil && v != codecVersion {
+		return core.PipelineSnapshot{}, fmt.Errorf("wire: unsupported codec version %d (want %d)", v, codecVersion)
+	}
+	s := decodePipelineBody(r)
+	r.expectEOF()
+	return s, r.err()
+}
+
+// decodePipelineBody parses a pipeline snapshot body (after the version
+// byte).
+func decodePipelineBody(r *reader) core.PipelineSnapshot {
+	var s core.PipelineSnapshot
+	s.Bank = decodeBank(r)
+	n := r.length(10)
+	if n > 0 {
+		s.Buffer = make([]flow.Record, n)
+		for i := range s.Buffer {
+			s.Buffer[i] = decodeRecord(r)
+		}
+	}
+	return s
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func decodeBool(r *reader) bool {
+	switch b := r.byte(); b {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("invalid bool byte %d", b)
+		return false
+	}
+}

@@ -1,0 +1,322 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/tracegen"
+	"anomalyx/internal/wire"
+)
+
+// testTrace generates a seeded tracegen trace with an injected dstPort
+// flood in interval floodAt so detection, prefiltering, and mining are
+// all exercised. Records keep their tracegen timestamps, which fall
+// inside aligned 15-minute interval windows — the engine's boundary
+// grid therefore reproduces the tracegen interval structure exactly.
+func testTrace(intervals, baseFlows, floodAt int) [][]flow.Record {
+	cfg := tracegen.SmallConfig()
+	cfg.Intervals = intervals
+	cfg.BaseFlows = baseFlows
+	cfg.Events = tracegen.Schedule(cfg.Intervals, cfg.BaseFlows)
+	gen := tracegen.New(cfg)
+	out := make([][]flow.Record, intervals)
+	for i := range out {
+		recs := gen.Interval(i)
+		if i == floodAt {
+			for j := range recs {
+				if j%3 == 0 {
+					recs[j].DstAddr, recs[j].DstPort = 42, 31337
+					recs[j].Packets, recs[j].Bytes = 1, 40
+				}
+			}
+		}
+		out[i] = recs
+	}
+	return out
+}
+
+func testPipelineConfig() core.Config {
+	return core.Config{
+		Detector: detector.Config{Bins: 256, TrainIntervals: 4, Seed: 3},
+	}
+}
+
+// renderReport serializes every deterministic report field so two
+// reports can be compared for byte identity (the KeepSuspicious
+// forensic slice is excluded, as in the shard determinism tests).
+func renderReport(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interval=%d alarm=%v total=%d suspicious=%d minsup=%d R=%v\n",
+		rep.Interval, rep.Alarm, rep.TotalFlows, rep.SuspiciousFlows,
+		rep.MinSupport, rep.CostReduction)
+	fmt.Fprintf(&b, "detection=%+v\n", rep.Detection)
+	if rep.Mining != nil {
+		fmt.Fprintf(&b, "mining=%+v\n", *rep.Mining)
+	}
+	for i := range rep.ItemSets {
+		fmt.Fprintf(&b, "set %s sup=%d\n", rep.ItemSets[i].String(), rep.ItemSets[i].Support)
+	}
+	return b.String()
+}
+
+// TestBankSnapshotRoundTrip pins the codec's lossless-checkpoint
+// guarantee at the bank level: snapshot a bank with real detection
+// history and a partially accumulated interval, push it through
+// encode/decode, restore into a fresh bank, and both banks must produce
+// byte-identical results for every subsequent interval. The decoded
+// snapshot must also be deeply equal to the original and re-encode to
+// identical bytes (the canonical-form property).
+func TestBankSnapshotRoundTrip(t *testing.T) {
+	trace := testTrace(8, 2000, 6)
+	cfg := testPipelineConfig()
+	bcfg := detector.BankConfig{Template: cfg.Detector, Workers: 1}
+
+	orig, err := detector.NewBank(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	// Build history over five intervals, then leave a sixth partially
+	// accumulated so the open-interval state is non-trivial too.
+	for i := 0; i < 5; i++ {
+		orig.ObserveBatch(trace[i])
+		orig.EndInterval()
+	}
+	orig.ObserveBatch(trace[5][:900])
+
+	snap := orig.Snapshot()
+	enc := wire.EncodeBankSnapshot(snap)
+	dec, err := wire.DecodeBankSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(dec, snap) {
+		t.Fatal("decoded bank snapshot differs from the original")
+	}
+	if enc2 := wire.EncodeBankSnapshot(dec); !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding the decoded snapshot changed the bytes")
+	}
+
+	restored, err := detector.NewBank(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreSnapshot(dec); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// Subsequent reports must be byte-identical, interval for interval.
+	for i := 5; i < len(trace); i++ {
+		rest := trace[i]
+		if i == 5 {
+			rest = trace[i][900:] // the first 900 are already in both banks
+		}
+		orig.ObserveBatch(rest)
+		restored.ObserveBatch(rest)
+		want := fmt.Sprintf("%+v", orig.EndInterval())
+		got := fmt.Sprintf("%+v", restored.EndInterval())
+		if got != want {
+			t.Fatalf("interval %d diverged after restore:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestPipelineSnapshotRoundTrip is the pipeline-level version: the
+// snapshot additionally carries the interval's flow buffer, so the
+// restored pipeline's extraction stage (prefilter + mining) must also
+// match byte for byte.
+func TestPipelineSnapshotRoundTrip(t *testing.T) {
+	trace := testTrace(10, 2000, 8)
+	cfg := testPipelineConfig()
+
+	orig, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	for i := 0; i < 7; i++ {
+		if _, err := orig.ProcessInterval(trace[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig.ObserveBatch(trace[7][:1200])
+
+	snap := orig.Snapshot()
+	enc := wire.EncodePipelineSnapshot(snap)
+	dec, err := wire.DecodePipelineSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(dec, snap) {
+		t.Fatal("decoded pipeline snapshot differs from the original")
+	}
+	if enc2 := wire.EncodePipelineSnapshot(dec); !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding the decoded snapshot changed the bytes")
+	}
+
+	restored, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreSnapshot(dec); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	alarmed := false
+	for i := 7; i < len(trace); i++ {
+		rest := trace[i]
+		if i == 7 {
+			rest = trace[i][1200:]
+		}
+		orig.ObserveBatch(rest)
+		restored.ObserveBatch(rest)
+		wantRep, err := orig.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRep, err := restored.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		alarmed = alarmed || wantRep.Alarm
+		if got, want := renderReport(gotRep), renderReport(wantRep); got != want {
+			t.Fatalf("interval %d diverged after restore:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	if !alarmed {
+		t.Fatal("post-restore intervals never alarmed; extraction path was not compared")
+	}
+}
+
+// TestDrainAbsorbEquivalence pins the agent-side primitive: draining a
+// pipeline's open interval and absorbing the (decoded) snapshot into a
+// second pipeline leaves the second exactly as if it had observed the
+// flows itself, and leaves the drained pipeline empty.
+func TestDrainAbsorbEquivalence(t *testing.T) {
+	trace := testTrace(6, 1500, 4)
+	cfg := testPipelineConfig()
+
+	direct, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	primary, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	agent, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	scratch, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scratch.Close()
+
+	for i, recs := range trace {
+		direct.ObserveBatch(recs)
+		agent.ObserveBatch(recs)
+
+		snap := agent.DrainSnapshot()
+		dec, err := wire.DecodePipelineSnapshot(wire.EncodePipelineSnapshot(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := scratch.RestoreSnapshot(dec); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Absorb(scratch); err != nil {
+			t.Fatal(err)
+		}
+
+		wantRep, err := direct.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRep, err := primary.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderReport(gotRep), renderReport(wantRep); got != want {
+			t.Fatalf("interval %d: drained/absorbed report diverged:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	// The drained agent must be empty: closing its interval reports no
+	// flows.
+	rep, err := agent.EndInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalFlows != 0 {
+		t.Fatalf("drained pipeline still buffers %d flows", rep.TotalFlows)
+	}
+}
+
+// TestDecodeRejects exercises the codec's corruption handling: version
+// mismatches, truncation, and trailing bytes must all fail cleanly.
+func TestDecodeRejects(t *testing.T) {
+	p, err := core.New(testPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.ObserveBatch(testTrace(1, 200, 0)[0])
+	enc := wire.EncodePipelineSnapshot(p.Snapshot())
+
+	if _, err := wire.DecodePipelineSnapshot(nil); err == nil {
+		t.Error("decoding empty input succeeded")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := wire.DecodePipelineSnapshot(bad); err == nil {
+		t.Error("decoding a wrong codec version succeeded")
+	}
+	if _, err := wire.DecodePipelineSnapshot(enc[:len(enc)/2]); err == nil {
+		t.Error("decoding truncated input succeeded")
+	}
+	if _, err := wire.DecodePipelineSnapshot(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Error("decoding input with trailing bytes succeeded")
+	}
+	// Non-minimal varints (0x80 0x00 encodes 0 in two bytes) must be
+	// rejected: the codec is canonical, so decode accepts exactly what
+	// encode produces — the FuzzWireRoundTrip re-encode invariant.
+	if _, err := wire.DecodePipelineSnapshot([]byte{1, 0x80, 0x00, 0x00}); err == nil {
+		t.Error("decoding a non-minimal uvarint succeeded")
+	}
+}
+
+// TestConfigDigest pins the handshake contract: implicit defaults and
+// their explicit spellings digest identically, while any change to the
+// histogram space (seed, bins, features) digests differently.
+func TestConfigDigest(t *testing.T) {
+	implicit := core.Config{}
+	explicit := core.Config{
+		Features: flow.DetectorFeatures[:],
+		Detector: detector.Config{}.WithDefaults(),
+	}
+	if wire.ConfigDigest(implicit) != wire.ConfigDigest(explicit) {
+		t.Error("defaulted and explicit configurations digest differently")
+	}
+	base := testPipelineConfig()
+	variants := []core.Config{
+		{Detector: detector.Config{Bins: 512, TrainIntervals: 4, Seed: 3}},
+		{Detector: detector.Config{Bins: 256, TrainIntervals: 4, Seed: 4}},
+		{Detector: detector.Config{Bins: 256, TrainIntervals: 5, Seed: 3}},
+		{Features: []flow.FeatureKind{flow.SrcIP}, Detector: base.Detector},
+	}
+	for i, v := range variants {
+		if wire.ConfigDigest(v) == wire.ConfigDigest(base) {
+			t.Errorf("variant %d digests equal to base", i)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# doclint: every package in the module must carry a package (godoc)
+# comment — the block directly above its `package` clause in at least
+# one non-test file. The comment is where each package states its role
+# and its determinism/ordering guarantees (see docs/ARCHITECTURE.md),
+# so a missing one is a CI failure, not a style nit.
+#
+# Dependency-free on purpose: the container bakes in only the Go
+# toolchain, so the check is go list + awk instead of a linter binary.
+set -eu
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    ok=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        # A doc comment is a // or */ line immediately preceding the
+        # package clause (build constraints don't qualify: gofmt keeps a
+        # blank line between them and the package clause).
+        if awk '
+            /^package[ \t]/ { if (prev ~ /^\/\// || prev ~ /\*\/[ \t]*$/) found = 1 }
+            { prev = $0 }
+            END { exit found ? 0 : 1 }
+        ' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "doclint: package in $dir has no package comment" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "doclint: add a package comment stating the package's role and its determinism/ordering guarantees" >&2
+fi
+exit $fail

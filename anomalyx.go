@@ -244,6 +244,20 @@ func DecodePipelineSnapshot(b []byte) (PipelineSnapshot, error) {
 	return wire.DecodePipelineSnapshot(b)
 }
 
+// EncodeOpenIntervalSnapshot serializes a drained open interval in the
+// lean form agents ship every interval boundary — clone histograms and
+// flow buffer only. It errors on snapshots carrying detection history;
+// use EncodePipelineSnapshot for full checkpoints.
+func EncodeOpenIntervalSnapshot(s PipelineSnapshot) ([]byte, error) {
+	return wire.EncodeOpenIntervalSnapshot(s)
+}
+
+// DecodeOpenIntervalSnapshot parses an EncodeOpenIntervalSnapshot
+// payload into a full snapshot with canonical empty history.
+func DecodeOpenIntervalSnapshot(b []byte) (PipelineSnapshot, error) {
+	return wire.DecodeOpenIntervalSnapshot(b)
+}
+
 // ConfigDigest hashes the detection-relevant configuration — what both
 // ends of a wire connection must agree on for snapshots to merge
 // meaningfully.

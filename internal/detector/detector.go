@@ -2,7 +2,7 @@ package detector
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"anomalyx/internal/flow"
 	"anomalyx/internal/hash"
@@ -149,6 +149,13 @@ type Detector struct {
 
 	diffs    []float64 // history of first differences (all clones pooled)
 	interval int
+
+	// binValues is the scratch buffer for the anomalous-bin → value
+	// mapping, reused across clones and intervals so the bin sweep
+	// (histogram.AppendValuesInBins) allocates only when an alarm needs
+	// more room than any previous one. Safe because the values are
+	// copied into the report before the next clone overwrites them.
+	binValues []uint64
 }
 
 // New builds a detector, applying defaults to unset Config fields.
@@ -267,12 +274,15 @@ func (d *Detector) EndInterval() Result {
 					res.Alarm = true
 					rep.Identification = histogram.IdentifyAnomalousBinsMetric(
 						h.Counts(), d.prev[c], d.klPrev[c], threshold, d.cfg.MaxRemoveBins, d.metric)
-					for _, bin := range rep.Identification.Bins {
-						vals := h.ValuesInBin(bin)
-						rep.Values = append(rep.Values, vals...)
-						for _, v := range vals {
-							votes[v]++
-						}
+					// One table sweep for all identified bins (grouped
+					// in identification order, values ascending per
+					// bin — the same concatenation the per-bin loop
+					// produced). A value lands in exactly one bin per
+					// clone, so each flagged value votes once here.
+					d.binValues = h.AppendValuesInBins(d.binValues[:0], rep.Identification.Bins)
+					rep.Values = append(rep.Values, d.binValues...)
+					for _, v := range d.binValues {
+						votes[v]++
 					}
 				}
 			}
@@ -287,7 +297,7 @@ func (d *Detector) EndInterval() Result {
 		}
 		// Sort so results are deterministic regardless of map iteration
 		// order — the parallel bank's byte-identical-merge contract.
-		sort.Slice(res.Meta, func(i, j int) bool { return res.Meta[i] < res.Meta[j] })
+		slices.Sort(res.Meta)
 	}
 
 	d.rotate(res)

@@ -1,0 +1,21 @@
+package histogram
+
+import "testing"
+
+// FuzzValueTableParity feeds arbitrary op programs to the
+// table-vs-map differential harness (see runParityProgram): adds with
+// clustered and wide values, zero-count adds, merges between tables of
+// mismatched occupancy, resets, and snapshot/restore round trips. Any
+// divergence between the arena-backed valueTable and the map reference
+// model — in snapshots, totals, per-bin counts, or per-bin values — is
+// a crash, so the fuzzer searches directly for violations of the
+// determinism contract the refactor must preserve.
+func FuzzValueTableParity(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252, 253, 254, 255})
+	// A merge-heavy program: op%5==3 merges, alternating targets.
+	f.Add([]byte{3, 19, 3, 19, 0, 7, 1, 16, 2, 40, 41, 42, 3, 19, 3})
+	// Reset/restore churn with interleaved adds.
+	f.Add([]byte{4, 0, 0, 5, 2, 4, 3, 1, 9, 3, 4, 6, 20, 4, 3, 4, 0, 0, 3})
+	f.Fuzz(runParityProgram)
+}

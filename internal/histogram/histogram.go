@@ -7,7 +7,7 @@ package histogram
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"anomalyx/internal/hash"
 )
@@ -16,11 +16,21 @@ import (
 // measurement interval, optionally remembering which feature values fell
 // into each bin (needed to map anomalous bins back to feature values —
 // §II-D "keeping a map of bins and corresponding feature values").
+//
+// Value tracking is backed by one arena-recycling valueTable per
+// histogram rather than a map per bin: a value's bin is a pure function
+// of the value, so the flat value → count table carries the same
+// information, and Reset recycles its arena instead of freeing it —
+// steady-state intervals add observations without allocating. See
+// docs/ARCHITECTURE.md, "Memory layout & allocation discipline".
 type Histogram struct {
 	fn     hash.Func
 	counts []uint64
 	total  uint64
-	values []map[uint64]uint64 // per bin: value -> flow count; nil when not tracked
+	track  bool       // value tracking enabled
+	values valueTable // value -> flow count; empty when not tracked
+	binPos []int32    // AppendValuesInBins scratch: bin -> list position
+	binCnt []int      // AppendValuesInBins scratch: per-position tallies
 }
 
 // New creates a histogram with k bins using hash function fn. When
@@ -29,11 +39,7 @@ func New(k int, fn hash.Func, trackValues bool) *Histogram {
 	if k <= 0 {
 		panic("histogram: k must be positive")
 	}
-	h := &Histogram{fn: fn, counts: make([]uint64, k)}
-	if trackValues {
-		h.values = make([]map[uint64]uint64, k)
-	}
-	return h
+	return &Histogram{fn: fn, counts: make([]uint64, k), track: trackValues}
 }
 
 // K returns the number of bins.
@@ -48,18 +54,14 @@ func (h *Histogram) Bin(v uint64) int { return h.fn.Bin(v, len(h.counts)) }
 // Add records one observation of feature value v.
 func (h *Histogram) Add(v uint64) { h.AddN(v, 1) }
 
-// AddN records n observations of feature value v.
+// AddN records n observations of feature value v. On a warmed-up
+// tracked histogram (second interval onward, similar traffic mix) it
+// allocates nothing: the value table's arena survives Reset.
 func (h *Histogram) AddN(v uint64, n uint64) {
-	b := h.Bin(v)
-	h.counts[b] += n
+	h.counts[h.Bin(v)] += n
 	h.total += n
-	if h.values != nil {
-		m := h.values[b]
-		if m == nil {
-			m = make(map[uint64]uint64)
-			h.values[b] = m
-		}
-		m[v] += n
+	if h.track {
+		h.values.add(v, n)
 	}
 }
 
@@ -88,19 +90,104 @@ func (h *Histogram) CountsCopy() []uint64 {
 
 // ValuesInBin returns the distinct feature values observed in bin b during
 // the current interval, in ascending order (deterministic regardless of
-// map iteration order — detector reports must be byte-identical across
+// table iteration order — detector reports must be byte-identical across
 // runs and across the sequential/parallel bank paths). It returns nil
-// when value tracking is disabled.
+// when value tracking is disabled or the bin saw no values. The result
+// is freshly allocated and safe to retain; hot-path callers that query
+// many bins should use AppendValuesInBin with a reused scratch buffer.
 func (h *Histogram) ValuesInBin(b int) []uint64 {
-	if h.values == nil || h.values[b] == nil {
-		return nil
+	return h.AppendValuesInBin(nil, b)
+}
+
+// AppendValuesInBin appends bin b's distinct feature values to dst in
+// ascending order and returns the extended slice — the allocation-free
+// form of ValuesInBin for callers that sweep several bins (the
+// detector's anomalous-bin → value mapping reuses one scratch buffer
+// across bins and intervals). Only the appended region dst[len(dst):]
+// is sorted; existing elements are left untouched. The returned slice
+// aliases dst's backing array (like append), so a caller that retains
+// the result across calls must copy it — the usual append contract, in
+// contrast to ValuesInBin's always-fresh result.
+func (h *Histogram) AppendValuesInBin(dst []uint64, b int) []uint64 {
+	if !h.track || h.values.n == 0 {
+		return dst
 	}
-	out := make([]uint64, 0, len(h.values[b]))
-	for v := range h.values[b] {
-		out = append(out, v)
+	start := len(dst)
+	k := len(h.counts)
+	h.values.forEach(func(v, _ uint64) {
+		if h.fn.Bin(v, k) == b {
+			dst = append(dst, v)
+		}
+	})
+	slices.Sort(dst[start:])
+	return dst
+}
+
+// AppendValuesInBins appends the values of every listed bin to dst —
+// grouped in list order, each group ascending, exactly the
+// concatenation of AppendValuesInBin over bins — and returns the
+// extended slice. It passes over the value table a constant number of
+// times regardless of len(bins), where per-bin calls would rescan the
+// table per bin; this is the accessor for the detector's anomalous-bin
+// sweep, whose bin lists can reach MaxRemoveBins per clone. bins must
+// not repeat (the identification's removal sequence never does); a
+// repeated bin contributes its values once, at its first position. The
+// returned slice aliases dst's backing array — the same contract as
+// AppendValuesInBin — and the bin-position marks live in a scratch
+// buffer reused across calls, another reason the histogram is not safe
+// for concurrent use.
+func (h *Histogram) AppendValuesInBins(dst []uint64, bins []int) []uint64 {
+	if !h.track || h.values.n == 0 || len(bins) == 0 {
+		return dst
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	k := len(h.counts)
+	if h.binPos == nil {
+		h.binPos = make([]int32, k)
+	}
+	// pos maps bin -> 1 + its position in bins; 0 means unlisted.
+	pos := h.binPos
+	for i, b := range bins {
+		if pos[b] == 0 {
+			pos[b] = int32(i + 1)
+		}
+	}
+	// Counting sort by list position: tally, prefix-sum, place, then
+	// sort each bin's range by plain value compare.
+	if cap(h.binCnt) < len(bins)+1 {
+		h.binCnt = make([]int, len(bins)+1)
+	}
+	cnt := h.binCnt[:len(bins)+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	h.values.forEach(func(v, _ uint64) {
+		if p := pos[h.fn.Bin(v, k)]; p != 0 {
+			cnt[p]++
+		}
+	})
+	total := 0
+	for i := 1; i < len(cnt); i++ {
+		c := cnt[i]
+		cnt[i] = total
+		total += c
+	}
+	start := len(dst)
+	dst = slices.Grow(dst, total)[:start+total]
+	h.values.forEach(func(v, _ uint64) {
+		if p := pos[h.fn.Bin(v, k)]; p != 0 {
+			dst[start+cnt[p]] = v
+			cnt[p]++
+		}
+	})
+	prev := 0
+	for i := 1; i < len(cnt); i++ { // cnt[i] is now position i's end
+		slices.Sort(dst[start+prev : start+cnt[i]])
+		prev = cnt[i]
+	}
+	for _, b := range bins { // clear the marks for the next call
+		pos[b] = 0
+	}
+	return dst
 }
 
 // Merge folds other's current-interval observations into h: per-bin
@@ -119,41 +206,29 @@ func (h *Histogram) Merge(other *Histogram) {
 	if h.fn != other.fn {
 		panic("histogram: Merge over different hash functions")
 	}
-	if (h.values == nil) != (other.values == nil) {
+	if h.track != other.track {
 		panic("histogram: Merge with mismatched value tracking")
 	}
 	for b, n := range other.counts {
 		h.counts[b] += n
 	}
 	h.total += other.total
-	if h.values == nil {
+	if !h.track {
 		return
 	}
-	for b, src := range other.values {
-		if src == nil {
-			continue
-		}
-		dst := h.values[b]
-		if dst == nil {
-			dst = make(map[uint64]uint64, len(src))
-			h.values[b] = dst
-		}
-		for v, n := range src {
-			dst[v] += n
-		}
-	}
+	other.values.forEach(func(v, n uint64) { h.values.add(v, n) })
 }
 
-// Reset clears all counts and value maps for the next interval.
+// Reset clears all counts and tracked values for the next interval. The
+// value table's arena is recycled, not freed: the next interval's adds
+// reuse its capacity, so steady-state ingestion does not allocate.
 func (h *Histogram) Reset() {
 	for i := range h.counts {
 		h.counts[i] = 0
 	}
 	h.total = 0
-	if h.values != nil {
-		for i := range h.values {
-			h.values[i] = nil
-		}
+	if h.track {
+		h.values.reset()
 	}
 }
 

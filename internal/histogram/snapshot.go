@@ -1,8 +1,9 @@
 package histogram
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ValueCount is one (feature value, observation count) pair of a bin's
@@ -18,7 +19,13 @@ type ValueCount struct {
 // live histogram) and each bin's Values slice is sorted ascending by
 // Value, so two histograms holding the same observations always yield
 // deeply equal — and, once serialized, byte-identical — snapshots
-// regardless of insertion or map-iteration order.
+// regardless of insertion or table-iteration order.
+//
+// The per-bin Values slices share one backing array (they are adjacent
+// sub-slices of a single slab, capacity-clipped so appends cannot bleed
+// across bins). That is invisible to readers and to DeepEqual; it only
+// means a caller must not grow one bin's slice in place and expect the
+// slab to stay intact — treat a Snapshot as immutable plain data.
 //
 // A Snapshot does not carry the hash function or bin count as
 // configuration: restoring requires a histogram already constructed with
@@ -36,24 +43,49 @@ type Snapshot struct {
 
 // Snapshot captures the histogram's current-interval state. The result
 // shares no memory with the histogram: Counts is a copy (the CountsCopy
-// contract — snapshots outlive the interval) and value maps are
-// flattened into sorted ValueCount slices.
+// contract — snapshots outlive the interval) and tracked values are
+// flattened into one sorted slab, sub-sliced per bin (a handful of
+// allocations total, not one per bin). The flatten is a counting sort:
+// one table pass tallies entries per bin, the prefix sum carves the
+// slab into per-bin ranges, a second pass places entries, and each
+// (small) range sorts ascending by value — O(n + Σ_b n_b·log n_b),
+// the same sort work the per-bin maps paid, without their allocations.
 func (h *Histogram) Snapshot() Snapshot {
 	s := Snapshot{Counts: h.CountsCopy(), Total: h.total}
-	if h.values == nil {
+	if !h.track {
 		return s
 	}
-	s.Values = make([][]ValueCount, len(h.values))
-	for b, m := range h.values {
-		if len(m) == 0 {
-			continue
+	k := len(h.counts)
+	s.Values = make([][]ValueCount, k)
+	n := h.values.n
+	if n == 0 {
+		return s
+	}
+	offs := make([]int, k+1)
+	h.values.forEach(func(v, _ uint64) {
+		offs[h.fn.Bin(v, k)+1]++
+	})
+	for b := 0; b < k; b++ {
+		offs[b+1] += offs[b]
+	}
+	slab := make([]ValueCount, n)
+	// offs[b] doubles as bin b's placement cursor; after this pass it
+	// holds bin b's end, and bin b-1's end is its start.
+	h.values.forEach(func(v, c uint64) {
+		b := h.fn.Bin(v, k)
+		slab[offs[b]] = ValueCount{Value: v, Count: c}
+		offs[b]++
+	})
+	for b := 0; b < k; b++ {
+		start := 0
+		if b > 0 {
+			start = offs[b-1]
 		}
-		vs := make([]ValueCount, 0, len(m))
-		for v, n := range m {
-			vs = append(vs, ValueCount{Value: v, Count: n})
+		if end := offs[b]; end > start {
+			vs := slab[start:end:end]
+			slices.SortFunc(vs, func(a, b ValueCount) int { return cmp.Compare(a.Value, b.Value) })
+			s.Values[b] = vs
 		}
-		sort.Slice(vs, func(i, j int) bool { return vs[i].Value < vs[j].Value })
-		s.Values[b] = vs
 	}
 	return s
 }
@@ -66,11 +98,16 @@ func (h *Histogram) Snapshot() Snapshot {
 // seed silently yields a histogram whose future Adds disagree with its
 // restored past, so callers must guarantee matching construction
 // parameters (the wire protocol does so with a config digest).
+//
+// Because snapshots carry each bin's values pre-sorted, restore is a
+// single bulk fill of the value table: one reserve sized to the
+// snapshot's entry count (at most one arena allocation), then straight
+// inserts — no per-bin structures are rebuilt.
 func (h *Histogram) RestoreSnapshot(s Snapshot) error {
 	if len(s.Counts) != len(h.counts) {
 		return fmt.Errorf("histogram: restore snapshot with %d bins into histogram with %d", len(s.Counts), len(h.counts))
 	}
-	if (s.Values != nil) != (h.values != nil) {
+	if (s.Values != nil) != h.track {
 		return fmt.Errorf("histogram: restore snapshot with mismatched value tracking")
 	}
 	if s.Values != nil && len(s.Values) != len(h.counts) {
@@ -78,19 +115,19 @@ func (h *Histogram) RestoreSnapshot(s Snapshot) error {
 	}
 	copy(h.counts, s.Counts)
 	h.total = s.Total
-	if h.values == nil {
+	if !h.track {
 		return nil
 	}
-	for b := range h.values {
-		h.values[b] = nil
-		if b >= len(s.Values) || len(s.Values[b]) == 0 {
-			continue
+	h.values.reset()
+	total := 0
+	for _, vs := range s.Values {
+		total += len(vs)
+	}
+	h.values.reserve(total)
+	for _, vs := range s.Values {
+		for _, vc := range vs {
+			h.values.set(vc.Value, vc.Count)
 		}
-		m := make(map[uint64]uint64, len(s.Values[b]))
-		for _, vc := range s.Values[b] {
-			m[vc.Value] = vc.Count
-		}
-		h.values[b] = m
 	}
 	return nil
 }

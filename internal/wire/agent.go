@@ -56,10 +56,30 @@ func NewAgent(conn net.Conn, agentID int, cfg core.Config) (*Agent, error) {
 	return a, nil
 }
 
-// ShipSnapshot sends one drained interval: the absolute grid boundary
-// (Unix ms) and the pipeline snapshot. Each snapshot is flushed whole,
-// so the collector sees complete intervals or nothing.
+// ShipSnapshot sends one drained interval as a full snapshot frame: the
+// absolute grid boundary (Unix ms) and the complete pipeline snapshot,
+// detection history included. Each snapshot is flushed whole, so the
+// collector sees complete intervals or nothing. For the per-interval
+// agent cadence prefer ShipOpenInterval — an agent's history is always
+// empty, and the lean frame skips its zero bytes.
 func (a *Agent) ShipSnapshot(boundary int64, s core.PipelineSnapshot) error {
+	return a.ship(frameSnapshot, boundary, s)
+}
+
+// ShipOpenInterval sends one drained interval in the lean
+// open-interval-only encoding (clone histograms and flow buffer, no
+// detection history). It errors — before touching the stream — if the
+// snapshot carries history, which a drained agent pipeline never does;
+// use ShipSnapshot for full checkpoints.
+func (a *Agent) ShipOpenInterval(boundary int64, s core.PipelineSnapshot) error {
+	if err := openIntervalOnly(s); err != nil {
+		return err
+	}
+	return a.ship(frameOpenInterval, boundary, s)
+}
+
+// ship frames, encodes, and flushes one drained interval.
+func (a *Agent) ship(typ byte, boundary int64, s core.PipelineSnapshot) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.err != nil {
@@ -67,8 +87,12 @@ func (a *Agent) ShipSnapshot(boundary int64, s core.PipelineSnapshot) error {
 	}
 	a.buf = appendVarint(a.buf[:0], boundary)
 	a.buf = append(a.buf, codecVersion)
-	a.buf = AppendPipelineSnapshot(a.buf, s)
-	if err := writeFrame(a.w, frameSnapshot, a.buf); err != nil {
+	if typ == frameOpenInterval {
+		a.buf = appendOpenInterval(a.buf, s)
+	} else {
+		a.buf = AppendPipelineSnapshot(a.buf, s)
+	}
+	if err := writeFrame(a.w, typ, a.buf); err != nil {
 		a.err = err
 		return err
 	}
@@ -136,7 +160,11 @@ func (s *AgentSink) EndIntervalAt(boundary int64) (*core.Report, error) {
 	if boundary == 0 {
 		return rep, nil
 	}
-	if err := s.agent.ShipSnapshot(boundary, snap); err != nil {
+	// The drained snapshot of a pipeline that never closes detection
+	// carries no history, so the lean open-interval frame is lossless
+	// here and skips the all-zero reference/KL bytes a full frame would
+	// spend on every interval.
+	if err := s.agent.ShipOpenInterval(boundary, snap); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -52,6 +52,34 @@ func BenchmarkWireSnapshot(b *testing.B) {
 			}
 		}
 	})
+
+	// The lean open-interval form — what an agent actually ships each
+	// boundary (the bench pipeline never closed an interval, so its
+	// snapshot qualifies). Logged sizes give the full-vs-lean delta.
+	lean, err := wire.EncodeOpenIntervalSnapshot(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("open-interval size: %d bytes (full: %d, %.1f%% saved)",
+		len(lean), len(enc), 100*float64(len(enc)-len(lean))/float64(len(enc)))
+	b.Run("encode-open", func(b *testing.B) {
+		b.SetBytes(int64(len(lean)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.EncodeOpenIntervalSnapshot(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-open", func(b *testing.B) {
+		b.SetBytes(int64(len(lean)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.DecodeOpenIntervalSnapshot(lean); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkLoopbackInterval measures the distributed interval close end

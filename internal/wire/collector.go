@@ -151,13 +151,18 @@ func readAgent(conn net.Conn, ch chan<- agentFrame) {
 			return
 		}
 		switch typ {
-		case frameSnapshot:
+		case frameSnapshot, frameOpenInterval:
 			r := &reader{buf: payload}
 			boundary := r.varint()
 			if v := r.byte(); r.err() == nil && v != codecVersion {
 				r.fail("unsupported codec version %d (want %d)", v, codecVersion)
 			}
-			snap := decodePipelineBody(r)
+			var snap core.PipelineSnapshot
+			if typ == frameOpenInterval {
+				snap = decodeOpenIntervalBody(r)
+			} else {
+				snap = decodePipelineBody(r)
+			}
 			r.expectEOF()
 			if r.err() == nil && boundary <= 0 {
 				r.fail("non-positive snapshot boundary %d", boundary)

@@ -20,13 +20,23 @@ const (
 	// snapshot.
 	frameSnapshot = 2
 	// frameBye announces a clean end of stream; the agent has already
-	// shipped its final partial interval as an ordinary snapshot frame.
+	// shipped its final partial interval as an ordinary open-interval
+	// (or snapshot) frame.
 	frameBye = 3
+	// frameOpenInterval carries one drained interval in the lean
+	// open-interval-only encoding: the grid boundary followed by a
+	// version-prefixed open-interval body (clone histograms + flow
+	// buffer, no detection history — an agent never accumulates any).
+	// This is what agents ship each interval; frameSnapshot remains for
+	// full-state checkpoints.
+	frameOpenInterval = 4
 )
 
 // protoVersion is the framing/handshake version; bump together with any
-// protocol-shape change. Collectors reject other versions.
-const protoVersion = 1
+// protocol-shape change. Collectors reject other versions. Version 2
+// added the open-interval frame agents now emit, so a v1 collector
+// refuses the handshake instead of choking mid-stream.
+const protoVersion = 2
 
 // helloMagic starts every Hello payload, so a collector fed a stray
 // connection fails with a clear error instead of a codec one.

@@ -50,17 +50,39 @@ func decodeHistogram(r *reader) histogram.Snapshot {
 		return s
 	}
 	s.Values = make([][]histogram.ValueCount, k)
-	for b := range s.Values {
+	// All bins parse into one slab in a single pass — a handful of
+	// allocations per histogram instead of one per non-empty bin, which
+	// used to dominate decode's allocation profile (~12k allocs per
+	// paper-shaped pipeline snapshot). Total is the sum of the entry
+	// counts, so it upper-bounds the distinct-value count on anything
+	// the encoder produced (only corrupt inputs carry zero-count
+	// entries in bulk, and those merely pay append growth); the bound
+	// is clamped by the remaining input so a forged Total cannot force
+	// a huge allocation. Bin boundaries are recorded as offsets and
+	// sub-sliced once the slab stops moving, capacity-clipped so an
+	// append through one bin cannot reach the next bin's entries.
+	// reflect.DeepEqual cannot tell slab sub-slices from individually
+	// allocated ones, so round-trip equality holds.
+	hint := r.rem() / 2 // a value entry is at least two bytes
+	if s.Total < uint64(hint) {
+		hint = int(s.Total)
+	}
+	slab := make([]histogram.ValueCount, 0, hint)
+	offs := make([]int, k+1)
+	for b := 0; b < k; b++ {
 		n := r.length(2)
-		if n == 0 {
-			continue
+		for i := 0; i < n; i++ {
+			slab = append(slab, histogram.ValueCount{Value: r.uvarint(), Count: r.uvarint()})
 		}
-		vs := make([]histogram.ValueCount, n)
-		for i := range vs {
-			vs[i].Value = r.uvarint()
-			vs[i].Count = r.uvarint()
+		offs[b+1] = len(slab)
+	}
+	if r.err() != nil {
+		return s
+	}
+	for b := 0; b < k; b++ {
+		if offs[b+1] > offs[b] {
+			s.Values[b] = slab[offs[b]:offs[b+1]:offs[b+1]]
 		}
-		s.Values[b] = vs
 	}
 	return s
 }
@@ -233,6 +255,120 @@ func decodePipelineBody(r *reader) core.PipelineSnapshot {
 		}
 	}
 	return s
+}
+
+// The lean open-interval snapshot form. An agent's pipeline never
+// closes detection, so of a full pipeline snapshot only the open
+// interval carries information: the reference counts are all zero, the
+// KL series empty, the interval counter zero. The open-interval
+// encoding skips that dead weight — per detector it carries the clone
+// histograms alone, then the flow buffer — and the decoder
+// reconstructs the canonical empty history (zeroed Prev and KLPrev of
+// the right shapes, nil Diffs, false flags), so
+// decode(encodeOpenInterval(s)) is deeply equal to the drained s. Full
+// snapshots remain the format for true checkpoints, where history is
+// the point.
+
+// openIntervalOnly guards the lean form: encoding a snapshot that
+// carries history would silently discard it, so it is refused instead.
+func openIntervalOnly(s core.PipelineSnapshot) error {
+	for i, ds := range s.Bank.Detectors {
+		if ds.HavePrev || ds.HaveKL || len(ds.Diffs) != 0 || ds.Interval != 0 {
+			return fmt.Errorf("wire: detector %d carries detection history; ship a full snapshot frame", i)
+		}
+		if len(ds.Prev) != len(ds.Clones) || len(ds.KLPrev) != len(ds.Clones) {
+			return fmt.Errorf("wire: detector %d history shape does not match its %d clones", i, len(ds.Clones))
+		}
+		for c, prev := range ds.Prev {
+			if len(prev) != len(ds.Clones[c].Counts) {
+				return fmt.Errorf("wire: detector %d clone %d reference length %d does not match %d bins",
+					i, c, len(prev), len(ds.Clones[c].Counts))
+			}
+			for _, n := range prev {
+				if n != 0 {
+					return fmt.Errorf("wire: detector %d carries a reference interval; ship a full snapshot frame", i)
+				}
+			}
+		}
+		for _, kl := range ds.KLPrev {
+			if kl != 0 {
+				return fmt.Errorf("wire: detector %d carries a KL history; ship a full snapshot frame", i)
+			}
+		}
+	}
+	return nil
+}
+
+// appendOpenInterval appends the lean body: per detector the clone
+// histograms only, then the buffered flows. Callers must have checked
+// openIntervalOnly.
+func appendOpenInterval(b []byte, s core.PipelineSnapshot) []byte {
+	b = appendUvarint(b, uint64(len(s.Bank.Detectors)))
+	for _, ds := range s.Bank.Detectors {
+		b = appendUvarint(b, uint64(len(ds.Clones)))
+		for _, hs := range ds.Clones {
+			b = appendHistogram(b, hs)
+		}
+	}
+	b = appendUvarint(b, uint64(len(s.Buffer)))
+	for i := range s.Buffer {
+		b = appendRecord(b, &s.Buffer[i])
+	}
+	return b
+}
+
+// decodeOpenIntervalBody parses a lean body and reconstructs the full
+// snapshot shape with canonical empty history, sized from the decoded
+// clones (the bin count travels inside each histogram).
+func decodeOpenIntervalBody(r *reader) core.PipelineSnapshot {
+	var s core.PipelineSnapshot
+	s.Bank.Detectors = make([]detector.Snapshot, r.length(8))
+	for i := range s.Bank.Detectors {
+		nc := r.length(3)
+		ds := detector.Snapshot{
+			Clones: make([]histogram.Snapshot, nc),
+			Prev:   make([][]uint64, nc),
+			KLPrev: make([]float64, nc),
+		}
+		for c := 0; c < nc; c++ {
+			ds.Clones[c] = decodeHistogram(r)
+			ds.Prev[c] = make([]uint64, len(ds.Clones[c].Counts))
+		}
+		s.Bank.Detectors[i] = ds
+	}
+	n := r.length(10)
+	if n > 0 {
+		s.Buffer = make([]flow.Record, n)
+		for i := range s.Buffer {
+			s.Buffer[i] = decodeRecord(r)
+		}
+	}
+	return s
+}
+
+// EncodeOpenIntervalSnapshot serializes a drained open interval in the
+// lean form, prefixed with the codec version. It errors if the snapshot
+// carries detection history (reference counts, KL series, closed
+// intervals) — use EncodePipelineSnapshot for checkpoints.
+func EncodeOpenIntervalSnapshot(s core.PipelineSnapshot) ([]byte, error) {
+	if err := openIntervalOnly(s); err != nil {
+		return nil, err
+	}
+	return appendOpenInterval([]byte{codecVersion}, s), nil
+}
+
+// DecodeOpenIntervalSnapshot parses an EncodeOpenIntervalSnapshot
+// payload into a full pipeline snapshot with canonical empty history.
+// It rejects unknown codec versions, truncated input, and trailing
+// bytes.
+func DecodeOpenIntervalSnapshot(b []byte) (core.PipelineSnapshot, error) {
+	r := &reader{buf: b}
+	if v := r.byte(); r.err() == nil && v != codecVersion {
+		return core.PipelineSnapshot{}, fmt.Errorf("wire: unsupported codec version %d (want %d)", v, codecVersion)
+	}
+	s := decodeOpenIntervalBody(r)
+	r.expectEOF()
+	return s, r.err()
 }
 
 func boolByte(v bool) byte {

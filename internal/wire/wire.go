@@ -18,8 +18,12 @@
 // On top of the codec sit the distributed roles. An Agent runs a local
 // (optionally sharded) pipeline as an accumulator: at each measurement
 // interval close it drains the open interval — merged clone histograms
-// plus the buffered flows — and ships it as one Snapshot frame tagged
-// with the interval's absolute grid boundary. A Collector accepts N
+// plus the buffered flows — and ships it as one open-interval frame
+// tagged with the interval's absolute grid boundary. The open-interval
+// form is the full snapshot minus the detection history an agent never
+// accumulates (all-zero reference counts, empty KL series); the full
+// Snapshot frame remains for true checkpoints, so one codec serves
+// both at the right sizes. A Collector accepts N
 // agent connections, groups frames by boundary, absorbs each group into
 // its primary pipeline in agent-ID order via the same Absorb merge path
 // the in-process shard package uses, and closes detection there. Because

@@ -14,6 +14,12 @@
 // This package is the public facade: it re-exports the pipeline types so
 // that applications need a single import.
 //
+// Every configuration of the system — workers, shards, or distributed
+// agents and a collector — produces byte-identical reports for the same
+// input records; see docs/ARCHITECTURE.md "The determinism contract"
+// for how parallel state merges and sorted report boundaries keep that
+// guarantee.
+//
 //	p, _ := anomalyx.NewPipeline(anomalyx.Config{})
 //	for _, rec := range intervalFlows {
 //		p.Observe(rec)
@@ -163,10 +169,14 @@ func ExtractOffline(cfg Config, recs []Flow, meta MetaData) (*Report, error) {
 // NewMetaData returns an empty alarm annotation for offline extraction.
 func NewMetaData() MetaData { return detector.NewMetaData() }
 
-// Miners.
-func Apriori() Miner  { return apriori.New() }
+// Apriori returns the paper's modified level-wise miner (§II-B).
+func Apriori() Miner { return apriori.New() }
+
+// FPGrowth returns the FP-tree miner; same item-sets as Apriori.
 func FPGrowth() Miner { return fpgrowth.New() }
-func Eclat() Miner    { return eclat.New() }
+
+// Eclat returns the vertical tid-list miner; same item-sets as Apriori.
+func Eclat() Miner { return eclat.New() }
 
 // EclatParallel returns an Eclat miner that fans the depth-first
 // tid-list search out over first-item equivalence classes on a pool of

@@ -183,7 +183,9 @@ func run(o *options, in io.Reader, out io.Writer) (intervals, alarms int, err er
 
 	// Consume interval reports concurrently with trace parsing; the
 	// engine's bounded buffers keep the two sides in step.
+	//detlint:ok goroutines -- single consumer of the engine's ordered Reports channel; joined via done before return
 	done := make(chan error, 1)
+	//detlint:ok goroutines -- see above: one reader, sequenced by the Reports stream (contract: fan-ins are sequenced)
 	go func() {
 		for rep := range eng.Reports() {
 			if rep.Alarm || o.verbose {
@@ -264,7 +266,9 @@ func runAgent(o *options, in io.Reader, out io.Writer) (intervals int, err error
 		agent.Close()
 		return 0, err
 	}
+	//detlint:ok goroutines -- single consumer of the engine's ordered Reports channel; joined via done before return
 	done := make(chan error, 1)
+	//detlint:ok goroutines -- see above: one reader, sequenced by the Reports stream (contract: fan-ins are sequenced)
 	go func() {
 		for rep := range eng.Reports() {
 			if o.verbose {

@@ -1,0 +1,122 @@
+// Command detlint runs the determinism-contract analyzer suite of
+// internal/lint over the whole module and exits non-zero on any finding.
+// It is the machine-checked form of docs/ARCHITECTURE.md "The
+// determinism contract": map iteration sorted at the boundary
+// (maprange), no wall clock or seedless randomness in
+// determinism-critical packages (wallclock), fan-out only in the audited
+// concurrency packages (goroutines), package comments that state each
+// package's determinism/ordering guarantees (pkgdoc), and no stale
+// //detlint:ok suppressions (staledirective). Output is deterministic:
+// findings print in file/line/column order.
+//
+// Usage:
+//
+//	detlint [-json] ./...
+//
+// Findings print one per line as file:line:col: analyzer: message, or as
+// a JSON array with -json. Exit status: 0 clean, 1 findings, 2 usage or
+// load error. Dependency-free by design — stdlib go/parser + go/types
+// with source-mode imports — so CI needs nothing beyond the Go
+// toolchain.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"anomalyx/internal/lint"
+)
+
+// options carries the parsed command line.
+type options struct {
+	json bool
+	dir  string // directory whose module is linted (default ".")
+}
+
+// parseArgs parses the command line (without the program name) into
+// options. The only accepted pattern is "./..." — detlint always checks
+// the whole module, so suppressions and package policies are judged
+// against the full tree. It returns flag.ErrHelp for -h.
+func parseArgs(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{dir: "."}
+	fs.BoolVar(&o.json, "json", false, "emit findings as a JSON array instead of file:line:col lines")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: detlint [-json] ./...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	switch rest := fs.Args(); len(rest) {
+	case 0:
+	case 1:
+		if rest[0] != "./..." {
+			return nil, fmt.Errorf("detlint: only the ./... pattern is supported (the suite judges the whole module), got %q", rest[0])
+		}
+	default:
+		return nil, fmt.Errorf("detlint: at most one package pattern (./...) is supported")
+	}
+	return o, nil
+}
+
+// run loads the module containing o.dir, checks every package, and
+// writes findings to stdout; it returns the process exit code.
+func run(o *options, stdout, stderr io.Writer) int {
+	root, err := lint.FindModuleRoot(o.dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, lint.Check(pkg)...)
+	}
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+	if o.json {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "detlint: %d finding(s); fix, sort at the boundary, or annotate with //detlint:ok <analyzer> -- <reason>\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(run(o, os.Stdout, os.Stderr))
+}

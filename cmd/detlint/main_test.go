@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"anomalyx/internal/lint"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		json    bool
+		wantErr string
+	}{
+		{name: "empty", args: nil},
+		{name: "pattern", args: []string{"./..."}},
+		{name: "json", args: []string{"-json", "./..."}, json: true},
+		{name: "bad pattern", args: []string{"./internal/lint"}, wantErr: "only the ./... pattern"},
+		{name: "extra args", args: []string{"./...", "./..."}, wantErr: "at most one package pattern"},
+		{name: "unknown flag", args: []string{"-nope"}, wantErr: "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			o, err := parseArgs(c.args, &stderr)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error()+stderr.String(), c.wantErr) {
+					t.Fatalf("parseArgs(%v) err = %v, want %q", c.args, err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%v): %v", c.args, err)
+			}
+			if o.json != c.json {
+				t.Fatalf("parseArgs(%v) json = %v, want %v", c.args, o.json, c.json)
+			}
+		})
+	}
+}
+
+// TestRunCleanTree is the acceptance check in test form: the suite must
+// exit 0 over the repository itself, and the -json mode must emit a
+// valid (empty) findings array. Skipped under -short — the dedicated CI
+// step runs the command directly.
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck; covered by the CI detlint step")
+	}
+	var out, errb bytes.Buffer
+	if code := run(&options{dir: "."}, &out, &errb); code != 0 {
+		t.Fatalf("detlint over the tree exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run printed findings:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run(&options{dir: ".", json: true}, &out, io.Discard); code != 0 {
+		t.Fatalf("json run exited %d", code)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean run reported %d findings", len(findings))
+	}
+}

@@ -3,6 +3,9 @@
 // full set at quick scale, name specific experiments, or pass -scale full
 // for the two-week evaluation (minutes of runtime).
 //
+// Every experiment is seeded, so regenerated tables and figures are
+// reproducible; only the progress messages on stderr read the clock.
+//
 // Usage:
 //
 //	experiments [-scale quick|full] [table2 table3 table4 fig4 fig5 fig6
@@ -12,7 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"strings"
 	"time"
 
@@ -25,35 +30,75 @@ var order = []string{
 	"sketch", "hhh",
 }
 
-func main() {
-	scaleFlag := flag.String("scale", "quick", "trace scale: quick (two days) or full (two weeks)")
-	seed := flag.Uint64("seed", 20071203, "scenario seed for table2/sasser/miners")
-	flag.Parse()
+// options carries the parsed command line.
+type options struct {
+	scale string
+	seed  uint64
+	names []string // lower-cased experiment names; empty = all
+}
 
-	scale := experiments.Quick
-	if *scaleFlag == "full" {
-		scale = experiments.Full
+// parseArgs parses the command line (without the program name) into
+// options, validating the scale and every experiment name against the
+// known set. It returns flag.ErrHelp for -h.
+func parseArgs(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{}
+	fs.StringVar(&o.scale, "scale", "quick", "trace scale: quick (two days) or full (two weeks)")
+	fs.Uint64Var(&o.seed, "seed", 20071203, "scenario seed for table2/sasser/miners")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
+	if o.scale != "quick" && o.scale != "full" {
+		return nil, fmt.Errorf("experiments: unknown scale %q (want quick or full)", o.scale)
+	}
+	for _, name := range fs.Args() {
+		name = strings.ToLower(name)
+		if !slices.Contains(order, name) {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", name, strings.Join(order, " "))
+		}
+		o.names = append(o.names, name)
+	}
+	return o, nil
+}
 
-	want := flag.Args()
-	if len(want) == 0 {
-		want = order
+// selection expands the requested names (empty = everything) into the
+// selected set and reports whether the shared trace pass and the
+// support sweep are needed.
+func selection(names []string) (sel map[string]bool, needsRun, needsSweep bool) {
+	if len(names) == 0 {
+		names = order
 	}
-	sel := map[string]bool{}
-	for _, w := range want {
-		sel[strings.ToLower(w)] = true
+	sel = map[string]bool{}
+	for _, w := range names {
+		sel[w] = true
 	}
-
 	// Experiments that need a trace run share one pass.
-	needsRun := false
 	for _, name := range []string{"table4", "fig4", "fig5", "fig6", "fig9", "fig10", "voting", "sketch", "hhh"} {
 		if sel[name] {
 			needsRun = true
 		}
 	}
+	return sel, needsRun, sel["fig9"] || sel["fig10"]
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale := experiments.Quick
+	if o.scale == "full" {
+		scale = experiments.Full
+	}
+	sel, needsRun, needsSweep := selection(o.names)
 	var tr *experiments.TraceRun
 	if needsRun {
-		fmt.Fprintf(os.Stderr, "running %s trace pass...\n", *scaleFlag)
+		fmt.Fprintf(os.Stderr, "running %s trace pass...\n", o.scale)
 		t0 := time.Now()
 		var err error
 		tr, err = experiments.Run(scale)
@@ -63,7 +108,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace pass done in %v\n\n", time.Since(t0).Round(time.Second))
 	}
 	var sweep *experiments.SweepResult
-	if sel["fig9"] || sel["fig10"] {
+	if needsSweep {
 		fmt.Fprintln(os.Stderr, "running support sweep over anomalous intervals...")
 		var err error
 		sweep, err = experiments.RunSweep(tr, nil)
@@ -78,7 +123,7 @@ func main() {
 		}
 		switch name {
 		case "table2":
-			res, err := experiments.TableII(*seed)
+			res, err := experiments.TableII(o.seed)
 			if err != nil {
 				fatal(err)
 			}
@@ -134,7 +179,7 @@ func main() {
 		case "fig10":
 			fmt.Println(experiments.Fig10(sweep).Figure.String())
 		case "sasser":
-			res, err := experiments.Sasser(*seed, 20000, 500)
+			res, err := experiments.Sasser(o.seed, 20000, 500)
 			if err != nil {
 				fatal(err)
 			}
@@ -144,7 +189,7 @@ func main() {
 			}
 			fmt.Println()
 		case "miners":
-			res, err := experiments.MinerComparison(*seed, nil, 0)
+			res, err := experiments.MinerComparison(o.seed, nil, 0)
 			if err != nil {
 				fatal(err)
 			}

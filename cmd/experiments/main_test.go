@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+		check   func(t *testing.T, o *options)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, o *options) {
+				if o.scale != "quick" || o.seed != 20071203 || len(o.names) != 0 {
+					t.Fatalf("unexpected defaults: %+v", o)
+				}
+			},
+		},
+		{
+			name: "named experiments lower-cased",
+			args: []string{"-scale", "full", "-seed", "9", "Table2", "FIG9"},
+			check: func(t *testing.T, o *options) {
+				if o.scale != "full" || o.seed != 9 {
+					t.Fatalf("flags not applied: %+v", o)
+				}
+				if len(o.names) != 2 || o.names[0] != "table2" || o.names[1] != "fig9" {
+					t.Fatalf("names = %v, want [table2 fig9]", o.names)
+				}
+			},
+		},
+		{name: "bad scale", args: []string{"-scale", "huge"}, wantErr: "unknown scale"},
+		{name: "unknown experiment", args: []string{"fig99"}, wantErr: "unknown experiment"},
+		{name: "unknown flag", args: []string{"-nope"}, wantErr: "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			o, err := parseArgs(c.args, &stderr)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error()+stderr.String(), c.wantErr) {
+					t.Fatalf("parseArgs(%v) err = %v, want %q", c.args, err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%v): %v", c.args, err)
+			}
+			if c.check != nil {
+				c.check(t, o)
+			}
+		})
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseArgs([]string{"-h"}, &stderr); err != flag.ErrHelp {
+		t.Fatalf("parseArgs(-h) err = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestSelection(t *testing.T) {
+	cases := []struct {
+		name      string
+		names     []string
+		selected  []string
+		needsRun  bool
+		needsSwp  bool
+		unselName string
+	}{
+		{
+			name: "empty selects everything", names: nil,
+			selected: order, needsRun: true, needsSwp: true,
+		},
+		{
+			name: "table2 alone needs no trace pass", names: []string{"table2"},
+			selected: []string{"table2"}, needsRun: false, needsSwp: false,
+			unselName: "fig9",
+		},
+		{
+			name: "fig4 needs the trace pass only", names: []string{"fig4"},
+			selected: []string{"fig4"}, needsRun: true, needsSwp: false,
+		},
+		{
+			name: "fig9 needs trace pass and sweep", names: []string{"fig9"},
+			selected: []string{"fig9"}, needsRun: true, needsSwp: true,
+		},
+		{
+			name: "fig10 needs trace pass and sweep", names: []string{"fig10"},
+			selected: []string{"fig10"}, needsRun: true, needsSwp: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sel, needsRun, needsSweep := selection(c.names)
+			for _, name := range c.selected {
+				if !sel[name] {
+					t.Errorf("selection(%v) dropped %q", c.names, name)
+				}
+			}
+			if c.unselName != "" && sel[c.unselName] {
+				t.Errorf("selection(%v) unexpectedly selected %q", c.names, c.unselName)
+			}
+			if needsRun != c.needsRun || needsSweep != c.needsSwp {
+				t.Errorf("selection(%v) = run:%v sweep:%v, want run:%v sweep:%v",
+					c.names, needsRun, needsSweep, c.needsRun, c.needsSwp)
+			}
+		})
+	}
+}

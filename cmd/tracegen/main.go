@@ -2,6 +2,10 @@
 // substitute for the paper's proprietary two-week capture — to a file, as
 // concatenated NetFlow v5 export packets or as CSV.
 //
+// The generator is fully seeded: the same flags produce byte-identical
+// trace files on every run, which is what lets every downstream
+// determinism test pin its expectations.
+//
 // Usage:
 //
 //	tracegen -out trace.nf5 [-format netflow|csv] [-scale full|small]
@@ -11,96 +15,164 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"anomalyx/internal/netflow"
 	"anomalyx/internal/tracegen"
 )
 
-func main() {
-	var (
-		out        = flag.String("out", "", "output file (required unless -list-events)")
-		format     = flag.String("format", "netflow", "output format: netflow (v5 packets) or csv")
-		scale      = flag.String("scale", "small", "base configuration: full (two weeks) or small (two days)")
-		seed       = flag.Uint64("seed", 0, "override the trace seed (0 keeps the default)")
-		intervals  = flag.Int("intervals", 0, "override the number of intervals (0 keeps the default)")
-		flows      = flag.Int("flows", 0, "override mean benign flows per interval (0 keeps the default)")
-		start      = flag.Int("start", 0, "first interval to emit")
-		count      = flag.Int("count", 0, "number of intervals to emit (0 = through the end)")
-		listEvents = flag.Bool("list-events", false, "print the ground-truth schedule and exit")
-	)
-	flag.Parse()
+// options carries the parsed command line.
+type options struct {
+	out        string
+	format     string
+	scale      string
+	seed       uint64
+	intervals  int
+	flows      int
+	start      int
+	count      int
+	listEvents bool
+}
 
+// parseArgs parses the command line (without the program name) into
+// options, validating flag values. It returns flag.ErrHelp for -h.
+func parseArgs(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{}
+	fs.StringVar(&o.out, "out", "", "output file (required unless -list-events)")
+	fs.StringVar(&o.format, "format", "netflow", "output format: netflow (v5 packets) or csv")
+	fs.StringVar(&o.scale, "scale", "small", "base configuration: full (two weeks) or small (two days)")
+	fs.Uint64Var(&o.seed, "seed", 0, "override the trace seed (0 keeps the default)")
+	fs.IntVar(&o.intervals, "intervals", 0, "override the number of intervals (0 keeps the default)")
+	fs.IntVar(&o.flows, "flows", 0, "override mean benign flows per interval (0 keeps the default)")
+	fs.IntVar(&o.start, "start", 0, "first interval to emit")
+	fs.IntVar(&o.count, "count", 0, "number of intervals to emit (0 = through the end)")
+	fs.BoolVar(&o.listEvents, "list-events", false, "print the ground-truth schedule and exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("tracegen: unexpected arguments %q", fs.Args())
+	}
+	if o.format != "netflow" && o.format != "csv" {
+		return nil, fmt.Errorf("tracegen: unknown format %q (want netflow or csv)", o.format)
+	}
+	if o.scale != "small" && o.scale != "full" {
+		return nil, fmt.Errorf("tracegen: unknown scale %q (want small or full)", o.scale)
+	}
+	if o.start < 0 {
+		return nil, fmt.Errorf("tracegen: -start must be >= 0")
+	}
+	if o.out == "" && !o.listEvents {
+		return nil, fmt.Errorf("tracegen: -out is required (or use -list-events)")
+	}
+	return o, nil
+}
+
+// config resolves the options into the generator configuration.
+func (o *options) config() tracegen.Config {
 	cfg := tracegen.SmallConfig()
-	if *scale == "full" {
+	if o.scale == "full" {
 		cfg = tracegen.DefaultConfig()
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	if o.seed != 0 {
+		cfg.Seed = o.seed
 	}
-	if *intervals > 0 {
-		cfg.Intervals = *intervals
+	if o.intervals > 0 {
+		cfg.Intervals = o.intervals
 	}
-	if *flows > 0 {
-		cfg.BaseFlows = *flows
+	if o.flows > 0 {
+		cfg.BaseFlows = o.flows
 	}
-	if *seed != 0 || *intervals > 0 || *flows > 0 {
+	if o.seed != 0 || o.intervals > 0 || o.flows > 0 {
 		cfg.Events = tracegen.Schedule(cfg.Intervals, cfg.BaseFlows)
 	}
-	g := tracegen.New(cfg)
+	return cfg
+}
 
-	if *listEvents {
-		fmt.Printf("# %d events, %d anomalous intervals\n", len(g.GroundTruth()), len(g.AnomalousIntervals()))
-		for _, ev := range g.GroundTruth() {
-			fmt.Printf("event %2d  intervals %4d-%4d  %-18s  ~%6d flows/interval  %s\n",
-				ev.ID, ev.Start, ev.End, ev.Class, ev.Flows, ev.Name)
-		}
-		return
+// listEvents prints the ground-truth schedule to w.
+func listEvents(g *tracegen.Generator, w io.Writer) {
+	fmt.Fprintf(w, "# %d events, %d anomalous intervals\n", len(g.GroundTruth()), len(g.AnomalousIntervals()))
+	for _, ev := range g.GroundTruth() {
+		fmt.Fprintf(w, "event %2d  intervals %4d-%4d  %-18s  ~%6d flows/interval  %s\n",
+			ev.ID, ev.Start, ev.End, ev.Class, ev.Flows, ev.Name)
 	}
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -out is required (or use -list-events)")
-		os.Exit(2)
-	}
+}
 
+// writeTrace emits the selected interval range to w in the selected
+// format and returns the number of flow records written.
+func writeTrace(o *options, g *tracegen.Generator, cfg tracegen.Config, w io.Writer) (int, error) {
 	end := cfg.Intervals
-	if *count > 0 && *start+*count < end {
-		end = *start + *count
+	if o.count > 0 && o.start+o.count < end {
+		end = o.start + o.count
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-
 	total := 0
-	switch *format {
+	switch o.format {
 	case "netflow":
-		w := netflow.NewWriter(f, cfg.IntervalStart(0))
-		for idx := *start; idx < end; idx++ {
+		nw := netflow.NewWriter(w, cfg.IntervalStart(0))
+		for idx := o.start; idx < end; idx++ {
 			for _, rec := range g.Interval(idx) {
-				if err := w.Write(rec); err != nil {
-					fatal(err)
+				if err := nw.Write(rec); err != nil {
+					return total, err
 				}
 				total++
 			}
 		}
-		if err := w.Flush(); err != nil {
-			fatal(err)
+		if err := nw.Flush(); err != nil {
+			return total, err
 		}
 	case "csv":
-		for idx := *start; idx < end; idx++ {
-			if err := netflow.WriteCSV(f, g.Interval(idx)); err != nil {
-				fatal(err)
+		for idx := o.start; idx < end; idx++ {
+			recs := g.Interval(idx)
+			if err := netflow.WriteCSV(w, recs); err != nil {
+				return total, err
 			}
+			total += len(recs)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
-		os.Exit(2)
 	}
-	fmt.Printf("wrote intervals %d-%d (%d flows) to %s\n", *start, end-1, total, *out)
+	return total, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+// run executes the parsed options, printing the summary line to stdout.
+func run(o *options, stdout io.Writer) error {
+	cfg := o.config()
+	g := tracegen.New(cfg)
+	if o.listEvents {
+		listEvents(g, stdout)
+		return nil
+	}
+	f, err := os.Create(o.out)
+	if err != nil {
+		return err
+	}
+	total, werr := writeTrace(o, g, cfg, f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	end := cfg.Intervals
+	if o.count > 0 && o.start+o.count < end {
+		end = o.start + o.count
+	}
+	fmt.Fprintf(stdout, "wrote intervals %d-%d (%d flows) to %s\n", o.start, end-1, total, o.out)
+	return nil
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 }

@@ -4,6 +4,9 @@
 // prefiltering ratio, and the final item-sets — the way §II's Fig. 3
 // presents the system.
 //
+// The trace is seeded, so the printed output is reproducible run to
+// run.
+//
 // Run with: go run ./examples/ddos
 package main
 

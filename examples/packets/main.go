@@ -5,6 +5,9 @@
 // extraction. This demonstrates the full paper data path: packets →
 // flow metering → histogram detectors → item-set mining.
 //
+// The packet stream is seeded, so the printed output is reproducible
+// run to run.
+//
 // Run with: go run ./examples/packets
 package main
 

@@ -2,6 +2,9 @@
 // pipeline — a calm baseline and one containing a flood — and print the
 // extracted item-sets.
 //
+// Traffic comes from a seeded generator, so the printed item-sets are
+// reproducible run to run.
+//
 // Run with: go run ./examples/quickstart
 package main
 

@@ -4,6 +4,9 @@
 // meta-data: intersecting the meta-data selects zero flows, while the
 // union covers every stage and lets Apriori summarize each one.
 //
+// The scenario is seeded, so the printed comparison is reproducible run
+// to run.
+//
 // Run with: go run ./examples/sasser
 package main
 

@@ -45,6 +45,7 @@ func main() {
 
 	// Producer: serialize the trace as NetFlow v5 packets into a pipe.
 	pr, pw := io.Pipe()
+	//detlint:ok goroutines -- trace producer writing one ordered byte stream into a pipe; the consumer preserves arrival order
 	go func() {
 		w := anomalyx.NewFlowWriter(pw, cfg.IntervalStart(0))
 		for idx := 0; idx < cfg.Intervals; idx++ {

@@ -4,6 +4,12 @@
 // meta-data prefilters the interval's flows to a suspicious set, and
 // frequent item-set mining summarizes the suspicious set into the maximal
 // item-sets an operator inspects.
+//
+// Determinism: a pipeline's reports are byte-identical for the same
+// input regardless of Workers, sharding, or agent/collector topology —
+// per-shard suspicious sets concatenate in shard order, report fields
+// are sorted at the boundary, and mining is order-insensitive (see
+// docs/ARCHITECTURE.md "The determinism contract").
 package core
 
 import (

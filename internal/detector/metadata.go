@@ -3,6 +3,13 @@
 // the MAD-based alarm threshold on the first difference of the KL time
 // series, and the l-of-n voting that turns anomalous bins into alarm
 // meta-data.
+//
+// Determinism: histogram updates commute and each (detector, clone) is
+// owned by one worker task, so parallel ingestion needs no ordering;
+// everything read out — voted meta-data values, KL series, snapshots —
+// is sorted at the boundary, and Bank merges absorb sibling state in
+// fixed feature order (docs/ARCHITECTURE.md "The determinism
+// contract").
 package detector
 
 import (
@@ -33,7 +40,9 @@ func (m MetaData) Add(k flow.FeatureKind, v uint64) {
 // Merge adds every entry of other into m (the union of detector views,
 // Fig. 2/3).
 func (m MetaData) Merge(other MetaData) {
+	//detlint:ok maprange -- set union commutes; no iteration order reaches a report (contract: histogram updates commute)
 	for k, vals := range other {
+		//detlint:ok maprange -- inserts into a set; order-insensitive
 		for v := range vals {
 			m.Add(k, v)
 		}
@@ -49,6 +58,7 @@ func (m MetaData) Contains(k flow.FeatureKind, v uint64) bool {
 // MatchesFlow reports whether any feature value of rec is annotated —
 // the union prefilter predicate.
 func (m MetaData) MatchesFlow(rec *flow.Record) bool {
+	//detlint:ok maprange -- existence test over a fixed record; any-match is order-insensitive
 	for k, vals := range m {
 		if _, ok := vals[rec.Feature(k)]; ok {
 			return true
@@ -64,6 +74,7 @@ func (m MetaData) MatchesFlowAll(rec *flow.Record) bool {
 	if len(m) == 0 {
 		return false
 	}
+	//detlint:ok maprange -- existence test over a fixed record; all-match is order-insensitive
 	for k, vals := range m {
 		if _, ok := vals[rec.Feature(k)]; !ok {
 			return false
@@ -87,6 +98,7 @@ func (m MetaData) Values(k flow.FeatureKind) []uint64 {
 // Count returns the total number of (feature, value) annotations.
 func (m MetaData) Count() int {
 	n := 0
+	//detlint:ok maprange -- summing set sizes commutes
 	for _, set := range m {
 		n += len(set)
 	}

@@ -4,6 +4,12 @@
 // cmd/experiments prints them and EXPERIMENTS.md records the measured
 // outcomes next to the paper's. The per-experiment index lives in
 // DESIGN.md §4.
+//
+// Determinism: every experiment is seeded — traces come from
+// internal/tracegen with fixed seeds and detection runs through the
+// deterministic pipeline — so regenerated tables and figures are
+// reproducible run to run. (Elapsed-time progress messages are the one
+// wall-clock read, and they never enter results.)
 package experiments
 
 import (

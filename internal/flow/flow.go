@@ -7,6 +7,11 @@
 // the flow. Section II-B of the paper maps each record to a transaction of
 // exactly seven items, one per feature; the FeatureKind enumeration below
 // fixes that feature space.
+//
+// Determinism: records are plain values and every derived quantity
+// (feature extraction, the stable partitioning Key) is a pure function
+// of the record, so shard assignment and transaction contents are
+// reproducible everywhere.
 package flow
 
 import (

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and typechecked package as the analyzers see it:
+// non-test files only (the determinism contract governs production code;
+// tests may fan out and fake clocks freely), in sorted file order.
+type Package struct {
+	Path       string // import path, e.g. "anomalyx/internal/histogram"
+	ModulePath string // the module's root import path, e.g. "anomalyx"
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Info       *types.Info
+	Types      *types.Package
+}
+
+// Loader parses and typechecks packages without any tooling beyond the
+// standard library: module-local imports resolve to packages the Loader
+// has already checked, and standard-library imports are typechecked from
+// GOROOT source via go/importer's "source" mode (modern toolchains ship
+// no stdlib export data). One Loader shares a FileSet and an import
+// cache across every load, so fixtures and module packages are cheap to
+// check together.
+type Loader struct {
+	Fset  *token.FileSet
+	std   types.ImporterFrom
+	local map[string]*types.Package
+}
+
+// NewLoader returns a Loader with an empty cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		local: map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer: module-local paths hit the cache,
+// everything else falls through to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.local[path]; ok {
+		return p, nil
+	}
+	return l.std.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom with the same resolution.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.local[path]; ok {
+		return p, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	m := moduleRE.FindSubmatch(b)
+	if m == nil {
+		return "", fmt.Errorf("no module directive in %s", filepath.Join(root, "go.mod"))
+	}
+	return string(m[1]), nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule discovers, parses, and typechecks every package under the
+// module rooted at root, in dependency order, and returns them sorted by
+// import path.
+func LoadModule(root string) ([]*Package, error) {
+	return NewLoader().LoadModule(root)
+}
+
+// LoadModule is the method form of the package-level LoadModule; loads
+// share this Loader's cache.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	type rawPkg struct {
+		pkg     *Package
+		imports []string
+	}
+	byPath := map[string]*rawPkg{}
+	var order []string
+	for _, dir := range dirs {
+		pkg, imports, err := l.parseDir(dir, modPath, importPathFor(root, modPath, dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		byPath[pkg.Path] = &rawPkg{pkg: pkg, imports: imports}
+		order = append(order, pkg.Path)
+	}
+	sort.Strings(order)
+
+	// Typecheck in dependency order: a post-order DFS over module-local
+	// imports guarantees every local dependency is in the cache before
+	// its importer is checked.
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		rp, ok := byPath[path]
+		if !ok {
+			return nil // stdlib or external; the source importer handles it
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = visiting
+		for _, imp := range rp.imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		if err := l.check(rp.pkg); err != nil {
+			return err
+		}
+		state[path] = done
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	pkgs := make([]*Package, 0, len(order))
+	for _, path := range order {
+		pkgs = append(pkgs, byPath[path].pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and typechecks the single package in dir as if it had
+// the given import path within the given module — the fixture-test entry
+// point, where testdata packages borrow realistic import paths to
+// exercise path-dependent policies.
+func (l *Loader) LoadDir(dir, modulePath, importPath string) (*Package, error) {
+	pkg, _, err := l.parseDir(dir, modulePath, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	if err := l.check(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// parseDir parses dir's non-test Go files in sorted order; it returns a
+// nil Package when the directory holds none.
+func (l *Loader) parseDir(dir, modulePath, importPath string) (*Package, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil, nil
+	}
+	sort.Strings(names)
+
+	pkg := &Package{
+		Path: importPath, ModulePath: modulePath, Dir: dir, Fset: l.Fset,
+	}
+	importSet := map[string]bool{}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for imp := range importSet {
+		imports = append(imports, imp)
+	}
+	sort.Strings(imports)
+	return pkg, imports, nil
+}
+
+// check typechecks pkg and fills in Info and Types.
+func (l *Loader) check(pkg *Package) error {
+	pkg.Info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkg.Path, l.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return fmt.Errorf("typecheck %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	l.local[pkg.Path] = tpkg
+	return nil
+}
+
+// packageDirs returns every directory under root that may hold a
+// package, skipping testdata, vendor, hidden directories, and nested
+// modules.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPathFor maps a directory under root to its import path.
+func importPathFor(root, modPath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

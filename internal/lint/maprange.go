@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapRange enforces the "reads are sorted at the boundary" bullet of the
+// determinism contract: map iteration order is random, so any `for …
+// range` over a map-typed value in non-test code must either be followed
+// immediately by a sort of what the loop accumulated or carry a
+// //detlint:ok maprange directive explaining why order cannot leak into
+// a report or snapshot.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "ranges over maps must sort at the boundary or justify themselves",
+	Run:  runMapRange,
+}
+
+func runMapRange(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := typeOf(pkg, rs.X)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(list) {
+					next = list[i+1]
+				}
+				if isSortCall(pkg, next) {
+					continue
+				}
+				report(rs.For, "range over map %s: iteration order is nondeterministic; sort at the boundary (next statement) or add //detlint:ok maprange -- <reason>", types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+}
+
+// isSortCall reports whether st is a call into package sort, or a
+// slices.Sort* call — the "sorted at the boundary" idiom, where the
+// statement directly after the loop orders whatever the loop
+// accumulated.
+func isSortCall(pkg *Package, st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// PkgDoc subsumes the old scripts/doclint.sh: every package must carry a
+// package comment, and that comment must state the package's
+// determinism/ordering guarantees — the contract of docs/ARCHITECTURE.md
+// is kept package by package, so each package says which side of it it
+// is on (sorted boundaries, order-insensitive merges, seeded hashing,
+// pure functions of the input, …). For the public boundary — the root
+// facade and internal/wire, whose exported surface other processes and
+// embedders program against — every exported identifier must carry a doc
+// comment as well.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "package comments must exist and state determinism/ordering guarantees",
+	Run:  runPkgDoc,
+}
+
+// noteRE recognizes a determinism/ordering note. Deliberately lenient:
+// the goal is that each package states its guarantee in its own words,
+// not that it recites a fixed formula.
+var noteRE = regexp.MustCompile(`(?i)\b(determinis\w*|byte-identical|reproducib\w*|sort\w*|order\w*|canonical\w*|commut\w*|sequenc\w*|seed\w*|stateless|pure)\b`)
+
+func runPkgDoc(pkg *Package, report ReportFunc) {
+	var doc *ast.File
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			doc = f
+			break
+		}
+	}
+	if doc == nil {
+		report(pkg.Files[0].Package, "package %s has no package comment; add one stating its role and its determinism/ordering guarantees (docs/ARCHITECTURE.md \"The determinism contract\")", pkg.Types.Name())
+		return
+	}
+	if !noteRE.MatchString(doc.Doc.Text()) {
+		report(doc.Package, "package comment of %s has no determinism/ordering note; state how the package keeps (or stays out of) the contract of docs/ARCHITECTURE.md \"The determinism contract\"", pkg.Types.Name())
+	}
+	if pkg.Path == pkg.ModulePath || pkg.Path == pkg.ModulePath+"/internal/wire" {
+		checkExportedDocs(pkg, report)
+	}
+}
+
+// checkExportedDocs requires a doc comment on every exported top-level
+// identifier — functions, methods on exported types, type specs, and
+// const/var specs (a shared doc on the enclosing decl counts).
+func checkExportedDocs(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if recv := receiverTypeName(d); recv != "" && !ast.IsExported(recv) {
+					continue
+				}
+				report(d.Pos(), "exported %s %s has no doc comment (required on the %s boundary)", funcKind(d), d.Name.Name, pkg.Path)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+							report(s.Pos(), "exported type %s has no doc comment (required on the %s boundary)", s.Name.Name, pkg.Path)
+						}
+					case *ast.ValueSpec:
+						if s.Doc != nil || d.Doc != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								report(n.Pos(), "exported value %s has no doc comment (required on the %s boundary)", n.Name, pkg.Path)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// receiverTypeName unwraps the receiver's base type name, or "" for a
+// plain function.
+func receiverTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package gofix seeds goroutines violations for the detlint fixture
+// harness (determinism: fixture only; the analyzer it exercises keeps
+// fan-out inside the audited, order-pinned concurrency packages).
+package gofix
+
+// Flagged: goroutine spawn and channel make outside the audited
+// packages.
+func fanOut(xs []int) int {
+	ch := make(chan int, len(xs)) // want "outside the audited concurrency packages"
+	for _, x := range xs {
+		go func(x int) { ch <- x * x }(x) // want "go statement outside the audited concurrency packages"
+	}
+	n := 0
+	for range xs {
+		n += <-ch
+	}
+	return n
+}
+
+// Not flagged: make of a non-channel type.
+func buffer() []int {
+	return make([]int, 0, 8)
+}
+
+// Not flagged: suppressed with a reason.
+func spawnExempt(done func()) {
+	//detlint:ok goroutines -- fire-and-forget cleanup; result never merges into a report
+	go done()
+}

@@ -1,0 +1,19 @@
+// Package goroutinesallowed is loaded under an audited concurrency
+// import path (anomalyx/internal/engine), where goroutine spawns and
+// channel makes are permitted because the package's merge order is
+// pinned by determinism tests (fixture only).
+package goroutinesallowed
+
+// Not flagged: the fixture harness loads this package as
+// anomalyx/internal/engine, which the goroutines policy audits.
+func fanOut(xs []int) int {
+	ch := make(chan int, len(xs))
+	for _, x := range xs {
+		go func(x int) { ch <- x * x }(x)
+	}
+	n := 0
+	for range xs {
+		n += <-ch
+	}
+	return n
+}

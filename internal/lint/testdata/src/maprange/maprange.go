@@ -1,0 +1,46 @@
+// Package maprangefix seeds maprange violations for the detlint fixture
+// harness; findings and suppressions here pin the analyzer's behavior
+// (determinism: fixture only, never built into the module).
+package maprangefix
+
+import "sort"
+
+// Flagged: plain range over a map with no sort at the boundary.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m: iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Not flagged: the statement after the loop sorts what it accumulated.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Not flagged: a justified suppression with a reason.
+func sum(m map[string]int) int {
+	n := 0
+	//detlint:ok maprange -- summing commutes; no order reaches the result
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Flagged: range over a named map type through a value.
+type counts map[uint64]uint64
+
+func total(c counts) uint64 {
+	var n uint64
+	for _, v := range c { // want "range over map c: iteration order is nondeterministic"
+		n += v
+	}
+	return n
+}

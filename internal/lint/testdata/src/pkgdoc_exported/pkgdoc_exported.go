@@ -1,0 +1,24 @@
+// Package pkgdocexported is loaded as anomalyx/internal/wire, the
+// strict public boundary where every exported identifier must carry a
+// doc comment (determinism: fixture only; snapshot ordering is not at
+// stake here).
+package pkgdocexported
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {} // want "exported function Undocumented has no doc comment"
+
+type Bare struct{} // want "exported type Bare has no doc comment"
+
+// Named has a doc comment.
+type Named struct{}
+
+func (Named) Method() {} // want "exported method Method has no doc comment"
+
+// DocumentedValue carries a doc comment.
+var DocumentedValue = 1
+
+var BareValue = 2 // want "exported value BareValue has no doc comment"
+
+func (Named) documented() {} // unexported methods need no doc

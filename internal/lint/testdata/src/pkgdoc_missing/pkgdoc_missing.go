@@ -1,0 +1,4 @@
+package pkgdocmissing // want "package pkgdocmissing has no package comment"
+
+// Documented exported function in an undocumented package.
+func Noop() {}

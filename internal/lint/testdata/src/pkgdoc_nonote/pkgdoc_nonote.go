@@ -1,0 +1,7 @@
+// Package pkgdocnonote has a comment that says what the package is but
+// not how it behaves under the contract, which is exactly the gap the
+// analyzer exists to catch.
+package pkgdocnonote // want "package comment of pkgdocnonote has no determinism/ordering note"
+
+// Noop does nothing.
+func Noop() {}

@@ -1,0 +1,46 @@
+// Package stalefix seeds directive-hygiene cases for the detlint
+// fixture harness: a live suppression, a stale one, and malformed ones
+// (determinism: fixture only; the staledirective rule keeps
+// suppressions from outliving the code they excused).
+package stalefix
+
+// Not flagged: the directive suppresses a real maprange finding.
+func live(m map[string]int) int {
+	n := 0
+	//detlint:ok maprange -- summing commutes; no order reaches the result
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Flagged: the loop below ranges over a slice, so the directive
+// suppresses nothing.
+func stale(xs []int) int {
+	n := 0
+	//detlint:ok maprange -- left behind after a refactor replaced the map with a slice // want "directive suppresses no maprange finding"
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}
+
+// Flagged: a reason is mandatory.
+func noReason(m map[string]int) int {
+	n := 0
+	//detlint:ok maprange // want "has no reason"
+	for _, v := range m { // want "range over map m"
+		n += v
+	}
+	return n
+}
+
+// Flagged: the directive must name a known analyzer.
+func unknownAnalyzer(m map[string]int) int {
+	n := 0
+	//detlint:ok sloppiness -- not a rule // want "unknown or unsuppressible analyzer"
+	for _, v := range m { // want "range over map m"
+		n += v
+	}
+	return n
+}

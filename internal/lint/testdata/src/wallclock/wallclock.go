@@ -1,0 +1,38 @@
+// Package wallclockfix seeds wallclock violations for the detlint
+// fixture harness (determinism: fixture only, never built into the
+// module; the analyzer it exercises keeps wall-clock reads out of
+// determinism-critical packages).
+package wallclockfix
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Flagged: reads the wall clock.
+func stamp() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+// Flagged: time.Since is a wall-clock read too.
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+// Flagged: the global math/rand/v2 source is seedless.
+func draw() int {
+	return rand.Int() // want "math/rand/v2.Int draws from the seedless global source"
+}
+
+// Not flagged: an explicitly seeded source is reproducible, and methods
+// on *rand.Rand carry that seed.
+func drawSeeded() uint64 {
+	r := rand.New(rand.NewPCG(1, 2))
+	return r.Uint64()
+}
+
+// Not flagged: suppressed with a reason.
+func stampExempt() int64 {
+	//detlint:ok wallclock -- operational log timestamp; never enters a report
+	return time.Now().Unix()
+}

@@ -1,0 +1,13 @@
+// Package wallclockallowed is loaded under a cmd/ import path, where
+// the wallclock analyzer is allowlisted: command-line front ends may
+// time their own progress because nothing there enters a report
+// (determinism: fixture only).
+package wallclockallowed
+
+import "time"
+
+// Not flagged: the fixture harness loads this package as
+// anomalyx/cmd/wallclockallowed, which the wallclock policy exempts.
+func stamp() time.Time {
+	return time.Now()
+}

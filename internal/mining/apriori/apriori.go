@@ -43,6 +43,7 @@ func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, err
 	}
 	frequent1 := make(map[itemset.Item]bool)
 	var all []itemset.Set
+	//detlint:ok maprange -- fills a set and appends to all, which BuildResult sorts via itemset.SortSets (contract: mining is order-insensitive)
 	for it, n := range oneCounts {
 		if n >= minsup {
 			frequent1[it] = true
@@ -71,6 +72,7 @@ func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, err
 	// Seed the level loop with the frequent 1-item-sets.
 	prev := make([][]itemset.Item, 0, len(frequent1))
 	prevSupport := make(map[itemset.Key]int, len(frequent1))
+	//detlint:ok maprange -- prev is re-sorted by sortSetsLex on the line after the loop
 	for it := range frequent1 {
 		prev = append(prev, []itemset.Item{it})
 		prevSupport[itemset.KeyOf([]itemset.Item{it})] = oneCounts[it]
@@ -83,6 +85,7 @@ func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, err
 			break
 		}
 		counts := make(map[itemset.Key]int, len(candidates))
+		//detlint:ok maprange -- zero-initializes a map from a map; no order is observable
 		for key := range candidates {
 			counts[key] = 0
 		}
@@ -99,6 +102,7 @@ func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, err
 
 		var next [][]itemset.Item
 		nextSupport := make(map[itemset.Key]int)
+		//detlint:ok maprange -- next is sortSetsLex-sorted below and all is sorted by BuildResult (contract: mining is order-insensitive)
 		for key, n := range counts {
 			if n >= minsup {
 				items := key.Items()

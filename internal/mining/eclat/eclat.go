@@ -65,6 +65,7 @@ func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, err
 		}
 	}
 	var roots []vert
+	//detlint:ok maprange -- mineVertical sorts roots into canonical item order before the DFS (contract: mining is order-insensitive)
 	for it, tids := range lists {
 		if len(tids) >= minsup {
 			roots = append(roots, vert{item: it, tids: tids})

@@ -56,6 +56,7 @@ func (w *Window) Push(tx itemset.Transaction) {
 // compact drops evicted tids from every list.
 func (w *Window) compact() {
 	min := w.minTid()
+	//detlint:ok maprange -- trims each tid-list independently; per-key mutation is order-insensitive
 	for it, tids := range w.lists {
 		i := lowerBound(tids, min)
 		if i == len(tids) {
@@ -80,6 +81,7 @@ func (w *Window) Mine(minsup int) (*mining.Result, error) {
 	}
 	min := w.minTid()
 	var roots []vert
+	//detlint:ok maprange -- mineVertical sorts roots into canonical item order before the DFS (contract: mining is order-insensitive)
 	for it, tids := range w.lists {
 		i := lowerBound(tids, min)
 		livePart := tids[i:]

@@ -4,6 +4,11 @@
 // standard hash tree implementations"). It produces exactly the same
 // frequent item-sets as the Apriori implementation and serves as the
 // performance baseline in the §III-E benchmarks.
+//
+// Determinism: header items are sorted by (count, canonical item order)
+// before the tree is built, map iterations only filter into maps, and
+// mining.BuildResult sorts all output — the result is a pure function
+// of the transaction multiset (mining is order-insensitive).
 package fpgrowth
 
 import (
@@ -116,6 +121,7 @@ func (m *Miner) Mine(txs []itemset.Transaction, minsup int) (*mining.Result, err
 		}
 	}
 	frequent := make(map[itemset.Item]int)
+	//detlint:ok maprange -- filters a map into a map; no order is observable
 	for it, n := range counts {
 		if n >= minsup {
 			frequent[it] = n
@@ -180,6 +186,7 @@ func mineTree(t *tree, minsup int, suffix []itemset.Item, out *[]itemset.Set) {
 		}
 		// Keep only conditionally frequent items.
 		condFrequent := make(map[itemset.Item]int)
+		//detlint:ok maprange -- filters a map into a map; no order is observable
 		for it, n := range condCounts {
 			if n >= minsup {
 				condFrequent[it] = n

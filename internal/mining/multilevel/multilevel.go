@@ -11,6 +11,10 @@
 // lengths: a distributed scan whose individual /32 targets are all
 // infrequent becomes a frequent {dstNet=a.b.c.0/24, dstPort=...}
 // item-set once destinations are generalized.
+//
+// Determinism: levels are mined in their configured order by the
+// order-insensitive base miner, and merged output is canonically sorted
+// (itemset.SortSets), so results do not depend on transaction order.
 package multilevel
 
 import (

@@ -1,6 +1,10 @@
 // Package report renders experiment outputs — tables and data series —
 // as aligned plain text, the format cmd/experiments prints and
 // EXPERIMENTS.md records.
+//
+// Determinism: rendering preserves the caller's row and column order
+// and adds nothing of its own (no maps, no clock), so output bytes are
+// a pure function of the input.
 package report
 
 import (

@@ -197,28 +197,139 @@ func PrefilterIntersection() prefilter.Strategy { return prefilter.Intersection{
 // histogram clones + buffered flows) to a collector, which absorbs the
 // snapshots in agent-ID order and runs detection — with reports
 // byte-identical to a single process running the same partitions as
-// in-process shards. See docs/ARCHITECTURE.md for the full contract.
+// in-process shards. Sessions survive their transports: agents buffer
+// unacked intervals, redial, and resume; the collector deduplicates
+// replays and can restart from a checkpoint. See docs/ARCHITECTURE.md
+// for the full contract and failure model.
 type (
-	// WireAgent is the sending half: one TCP connection to a collector.
+	// WireAgent is the sending half: one logical stream to a collector
+	// that survives connection loss via ack-gated replay.
 	WireAgent = wire.Agent
-	// WireCollector accepts N agents and owns all detection state.
+	// WireCollector merges N agents' interval frames and owns all
+	// detection state.
 	WireCollector = wire.Collector
 	// PipelineSnapshot is a pipeline's exported state — a lossless,
 	// canonically-encoded checkpoint.
 	PipelineSnapshot = core.PipelineSnapshot
+	// RetryConfig parameterizes an agent's redial backoff (capped
+	// exponential with seeded jitter).
+	RetryConfig = wire.RetryConfig
+	// CollectorConfig parameterizes a collector session: fleet size,
+	// partial-interval policy, checkpoint/resume, metrics address.
+	CollectorConfig = wire.CollectorConfig
+	// PartialPolicy selects what the collector does with an interval
+	// pending while an agent is disconnected (HoldWithTimeout or
+	// CloseWithout).
+	PartialPolicy = wire.PartialPolicy
+	// ConfigMismatchError reports a handshake rejected over differing
+	// detection-config digests; match it with errors.As.
+	ConfigMismatchError = wire.ConfigMismatchError
 )
+
+// The partial-interval policies; see PartialPolicy.
+const (
+	// HoldWithTimeout holds a pending interval for a disconnected agent
+	// up to CollectorConfig.HoldTimeout (0 = forever) before closing
+	// without it.
+	HoldWithTimeout = wire.HoldWithTimeout
+	// CloseWithout closes pending intervals immediately without
+	// disconnected agents, flagging Report.Partial.
+	CloseWithout = wire.CloseWithout
+)
+
+// AgentConfig parameterizes the agent side of a distributed session.
+type AgentConfig struct {
+	// Addr is the collector's TCP address.
+	Addr string
+	// AgentID is this agent's ID in [0, CollectorConfig.Agents).
+	AgentID int
+	// Retry is the redial policy; the zero value means 8 attempts with
+	// 100ms-base jittered exponential backoff capped at 10s.
+	Retry RetryConfig
+	// Shards is the local shard count behind the engine (0 =
+	// GOMAXPROCS), as in NewShardedEngine.
+	Shards int
+	// ReplayBuffer bounds the unacked-frame replay buffer (0 = 64);
+	// when full, interval closes block until the collector acks —
+	// backpressure, never data loss.
+	ReplayBuffer int
+}
+
+// AgentSession is a running distributed agent: a streaming Engine whose
+// interval closes ship drained snapshots to the collector, plus the
+// wire stream itself. Submit flows and read Reports exactly as with a
+// local Engine (the reports are local stubs; detection happens at the
+// collector). Close shuts both down in the required order.
+type AgentSession struct {
+	*Engine
+	agent *WireAgent
+}
+
+// Agent exposes the underlying wire stream (for Acked-boundary
+// inspection; closing it is Close's job).
+func (s *AgentSession) Agent() *WireAgent { return s.agent }
+
+// Close flushes and stops the engine (shipping the final partial
+// interval), then closes the wire stream so the Bye frame trails the
+// final snapshot. It returns the first error.
+func (s *AgentSession) Close() error {
+	err := s.Engine.Close()
+	if cerr := s.agent.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// NewAgent dials the collector and starts a distributed agent session:
+// a streaming engine draining a locally sharded pipeline into the wire
+// stream each interval. cfg.Pipeline must match the collector's
+// configuration (digest-checked in the handshake; a mismatch surfaces
+// as a *ConfigMismatchError). The session survives collector outages
+// per ac.Retry: unacked intervals are buffered and replayed after a
+// redial.
+func NewAgent(cfg EngineConfig, ac AgentConfig) (*AgentSession, error) {
+	agent, err := wire.DialAgent(ac.Addr, ac.AgentID, cfg.Pipeline, wire.AgentOptions{
+		Retry:        ac.Retry,
+		ReplayBuffer: ac.ReplayBuffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewAgentEngine(cfg, agent, ac.Shards)
+	if err != nil {
+		agent.Close()
+		return nil, err
+	}
+	return &AgentSession{Engine: eng, agent: agent}, nil
+}
+
+// NewCollectorWithConfig builds the collector side from a
+// CollectorConfig; drive it with Serve on a TCP listener. (The name
+// differs from NewAgent's pattern because the original positional
+// NewCollector is kept compiling below.)
+func NewCollectorWithConfig(cfg Config, cc CollectorConfig) (*WireCollector, error) {
+	return wire.NewCollector(cfg, cc)
+}
 
 // DialCollector connects to a collector and performs the handshake for
 // the given agent ID. cfg must match the collector's configuration (its
 // detection parameters are digested into the handshake).
+//
+// Deprecated: use NewAgent, which bundles the dial, the retry/replay
+// options, and the engine into one AgentSession; DialCollector is the
+// default-options dial alone.
 func DialCollector(addr string, agentID int, cfg Config) (*WireAgent, error) {
 	return wire.Dial(addr, agentID, cfg)
 }
 
 // NewCollector builds the collector side for the given agent count;
 // drive it with Serve on a TCP listener.
+//
+// Deprecated: use NewCollectorWithConfig, which exposes the partial-
+// interval policy, checkpoint/resume, and metrics options; NewCollector
+// is NewCollectorWithConfig with only the agent count set.
 func NewCollector(cfg Config, agents int) (*WireCollector, error) {
-	return wire.NewCollector(cfg, agents)
+	return wire.NewCollector(cfg, wire.CollectorConfig{Agents: agents})
 }
 
 // NewAgentEngine builds and starts a streaming engine whose interval
@@ -227,6 +338,10 @@ func NewCollector(cfg Config, agents int) (*WireCollector, error) {
 // through agent instead of running detection locally. Close the engine
 // first, then the agent — the Bye frame must trail the final flushed
 // interval.
+//
+// Deprecated: use NewAgent, which owns the dial and the close ordering
+// in one AgentSession; NewAgentEngine remains for callers that manage
+// the wire stream themselves.
 func NewAgentEngine(cfg EngineConfig, agent *WireAgent, shards int) (*Engine, error) {
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)

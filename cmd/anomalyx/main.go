@@ -34,11 +34,15 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"anomalyx"
@@ -67,6 +71,15 @@ type options struct {
 	workers  int
 	top      int
 	verbose  bool
+
+	// Fault-tolerance knobs (protocol v3).
+	metricsAddr string
+	partial     string
+	holdTimeout time.Duration
+	checkpoint  string
+	resume      bool
+	retryMax    int
+	retryBase   time.Duration
 }
 
 // parseArgs parses the command line (without the program name) into
@@ -95,6 +108,13 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.workers, "workers", 0, "per-pipeline worker goroutines for detector, prefilter, and eclat fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	fs.IntVar(&o.top, "top", 20, "item-sets to print per alarm")
 	fs.BoolVar(&o.verbose, "v", false, "print every interval, not only alarms")
+	fs.StringVar(&o.metricsAddr, "metrics", "", "serve expvar session metrics over HTTP on this address (collector mode)")
+	fs.StringVar(&o.partial, "partial", "hold", "partial-interval policy when an agent is down: hold (wait up to -hold-timeout) or close (close without it) (collector mode)")
+	fs.DurationVar(&o.holdTimeout, "hold-timeout", 0, "how long -partial hold waits for a disconnected agent before closing without it (0 = forever) (collector mode)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "write a durable session checkpoint to this path after every interval (collector mode)")
+	fs.BoolVar(&o.resume, "resume", false, "resume the session from -checkpoint instead of starting fresh (collector mode)")
+	fs.IntVar(&o.retryMax, "retry-max", 0, "redial attempts per lost collector connection (0 = default 8, negative disables) (agent mode)")
+	fs.DurationVar(&o.retryBase, "retry-base", 0, "base redial backoff delay (0 = default 100ms) (agent mode)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -119,6 +139,12 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 		}
 		if o.agents < 1 {
 			return nil, fmt.Errorf("anomalyx: collector mode requires -agents >= 1")
+		}
+		if o.partial != "hold" && o.partial != "close" {
+			return nil, fmt.Errorf("anomalyx: -partial must be hold or close, got %q", o.partial)
+		}
+		if o.resume && o.checkpoint == "" {
+			return nil, fmt.Errorf("anomalyx: -resume requires -checkpoint")
 		}
 	default:
 		return nil, fmt.Errorf("anomalyx: unknown mode %q", o.mode)
@@ -257,33 +283,36 @@ func runAgent(o *options, in io.Reader, out io.Writer) (intervals int, err error
 	if err != nil {
 		return 0, err
 	}
-	agent, err := anomalyx.DialCollector(o.connect, o.agentID, engCfg.Pipeline)
+	sess, err := anomalyx.NewAgent(engCfg, anomalyx.AgentConfig{
+		Addr:    o.connect,
+		AgentID: o.agentID,
+		Shards:  o.shards,
+		Retry: anomalyx.RetryConfig{
+			MaxAttempts: o.retryMax,
+			BaseDelay:   o.retryBase,
+		},
+	})
 	if err != nil {
-		return 0, err
-	}
-	eng, err := anomalyx.NewAgentEngine(engCfg, agent, o.shards)
-	if err != nil {
-		agent.Close()
 		return 0, err
 	}
 	//detlint:ok goroutines -- single consumer of the engine's ordered Reports channel; joined via done before return
 	done := make(chan error, 1)
 	//detlint:ok goroutines -- see above: one reader, sequenced by the Reports stream (contract: fan-ins are sequenced)
 	go func() {
-		for rep := range eng.Reports() {
+		for rep := range sess.Reports() {
 			if o.verbose {
 				fmt.Fprintf(out, "interval %4d: %7d flows shipped\n", intervals, rep.TotalFlows)
 			}
 			intervals++
 		}
-		done <- eng.Err()
+		done <- sess.Err()
 	}()
-	submitErr := submitTrace(eng, in)
-	closeErr := eng.Close()
+	submitErr := submitTrace(sess.Engine, in)
+	// Session close flushes the engine, then sends Bye trailing the
+	// final interval.
+	closeErr := sess.Close()
 	repErr := <-done
-	// The Bye frame must trail the final interval the engine flushed.
-	agentErr := agent.Close()
-	for _, e := range []error{submitErr, closeErr, repErr, agentErr} {
+	for _, e := range []error{submitErr, closeErr, repErr} {
 		if e != nil {
 			return intervals, e
 		}
@@ -298,14 +327,34 @@ func serveCollector(o *options, ln net.Listener, out io.Writer) (intervals, alar
 	if err != nil {
 		return 0, 0, err
 	}
-	coll, err := anomalyx.NewCollector(engCfg.Pipeline, o.agents)
+	policy := anomalyx.HoldWithTimeout
+	if o.partial == "close" {
+		policy = anomalyx.CloseWithout
+	}
+	coll, err := anomalyx.NewCollectorWithConfig(engCfg.Pipeline, anomalyx.CollectorConfig{
+		Agents:         o.agents,
+		Policy:         policy,
+		HoldTimeout:    o.holdTimeout,
+		CheckpointPath: o.checkpoint,
+		Resume:         o.resume,
+		MetricsAddr:    o.metricsAddr,
+	})
 	if err != nil {
 		return 0, 0, err
 	}
 	defer coll.Close()
-	err = coll.Serve(ln, func(rep *anomalyx.Report) error {
+	if o.metricsAddr != "" {
+		// Also publish on the process-global expvar registry, so a
+		// /debug/vars scraper pointed at -metrics sees the session under
+		// a stable name.
+		expvar.Publish("anomalyx.collector", coll.Metrics())
+	}
+	err = coll.Serve(context.Background(), ln, func(rep *anomalyx.Report) error {
 		if rep.Alarm || o.verbose {
-			printReport(out, rep, intervals, o.top)
+			// Number by the report's own interval index, not a session
+			// counter: a collector resumed from a checkpoint continues the
+			// original numbering.
+			printReport(out, rep, rep.Interval, o.top)
 		}
 		if rep.Alarm {
 			alarms++
@@ -363,12 +412,20 @@ func main() {
 }
 
 func printReport(w io.Writer, rep *anomalyx.Report, idx, top int) {
+	partial := ""
+	if len(rep.Partial) > 0 {
+		ids := make([]string, len(rep.Partial))
+		for i, id := range rep.Partial {
+			ids[i] = fmt.Sprint(id)
+		}
+		partial = "  PARTIAL(missing agents " + strings.Join(ids, ",") + ")"
+	}
 	if !rep.Alarm {
-		fmt.Fprintf(w, "interval %4d: %7d flows, no alarm\n", idx, rep.TotalFlows)
+		fmt.Fprintf(w, "interval %4d: %7d flows, no alarm%s\n", idx, rep.TotalFlows, partial)
 		return
 	}
-	fmt.Fprintf(w, "interval %4d: %7d flows  ALARM  suspicious=%d minsup=%d itemsets=%d (R=%.0f)\n",
-		idx, rep.TotalFlows, rep.SuspiciousFlows, rep.MinSupport, len(rep.ItemSets), rep.CostReduction)
+	fmt.Fprintf(w, "interval %4d: %7d flows  ALARM  suspicious=%d minsup=%d itemsets=%d (R=%.0f)%s\n",
+		idx, rep.TotalFlows, rep.SuspiciousFlows, rep.MinSupport, len(rep.ItemSets), rep.CostReduction, partial)
 	sets := rep.ItemSets
 	if top < len(sets) {
 		sets = mining.TopK(sets, top)
@@ -378,7 +435,17 @@ func printReport(w io.Writer, rep *anomalyx.Report, idx, top int) {
 	}
 }
 
+// Exit codes: 1 for runtime errors, 2 for usage errors, and
+// exitConfigMismatch when the agent/collector handshake rejects the
+// session over differing detection configurations — scripts can
+// distinguish "fix the flags" from "fix the network".
+const exitConfigMismatch = 3
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "anomalyx:", err)
+	var mismatch *anomalyx.ConfigMismatchError
+	if errors.As(err, &mismatch) {
+		os.Exit(exitConfigMismatch)
+	}
 	os.Exit(1)
 }

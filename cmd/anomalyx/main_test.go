@@ -186,12 +186,20 @@ func TestParseArgsModes(t *testing.T) {
 	if o.mode != "agent" || o.connect != "h:1" || o.agentID != 2 {
 		t.Fatalf("agent flags not plumbed: %+v", o)
 	}
-	o, err = parseArgs([]string{"-mode", "collector", "-listen", ":1", "-agents", "3"}, io.Discard)
+	o, err = parseArgs([]string{
+		"-mode", "collector", "-listen", ":1", "-agents", "3",
+		"-partial", "close", "-hold-timeout", "30s",
+		"-checkpoint", "cp.axcp", "-resume", "-metrics", ":9000",
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.mode != "collector" || o.listen != ":1" || o.agents != 3 {
 		t.Fatalf("collector flags not plumbed: %+v", o)
+	}
+	if o.partial != "close" || o.holdTimeout != 30*time.Second ||
+		o.checkpoint != "cp.axcp" || !o.resume || o.metricsAddr != ":9000" {
+		t.Fatalf("fault-tolerance flags not plumbed: %+v", o)
 	}
 	for _, bad := range [][]string{
 		{"-mode", "agent", "-connect", "h:1", "-agent-id", "0"}, // no -in
@@ -199,7 +207,10 @@ func TestParseArgsModes(t *testing.T) {
 		{"-mode", "agent", "-in", "x", "-connect", "h:1"},       // no -agent-id
 		{"-mode", "collector", "-agents", "2"},                  // no -listen
 		{"-mode", "collector", "-listen", ":1"},                 // no -agents
-		{"-mode", "swarm", "-in", "x"},                          // unknown mode
+		{"-mode", "collector", "-listen", ":1", "-agents", "2",
+			"-partial", "sometimes"}, // bogus partial policy
+		{"-mode", "collector", "-listen", ":1", "-agents", "2", "-resume"}, // -resume without -checkpoint
+		{"-mode", "swarm", "-in", "x"},                                     // unknown mode
 	} {
 		if _, err := parseArgs(bad, io.Discard); err == nil {
 			t.Fatalf("args %v accepted", bad)

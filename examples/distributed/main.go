@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -75,7 +76,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	coll, err := anomalyx.NewCollector(pcfg, agents)
+	coll, err := anomalyx.NewCollectorWithConfig(pcfg, anomalyx.CollectorConfig{Agents: agents})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func main() {
 	serveErr := make(chan error, 1)
 	//detlint:ok goroutines -- see above: collector goroutine, joined on serveErr before the parity check
 	go func() {
-		serveErr <- coll.Serve(ln, func(rep *anomalyx.Report) error {
+		serveErr <- coll.Serve(context.Background(), ln, func(rep *anomalyx.Report) error {
 			got = append(got, render(rep))
 			status := "no alarm"
 			if rep.Alarm {
@@ -103,31 +104,30 @@ func main() {
 		//detlint:ok goroutines -- one goroutine per simulated agent machine; reports merge collector-side in agent-ID order
 		go func(id int) {
 			defer wg.Done()
-			agent, err := anomalyx.DialCollector(ln.Addr().String(), id, pcfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			eng, err := anomalyx.NewAgentEngine(anomalyx.EngineConfig{
+			sess, err := anomalyx.NewAgent(anomalyx.EngineConfig{
 				Pipeline:    pcfg,
 				IntervalLen: 15 * time.Minute,
-			}, agent, 1)
+			}, anomalyx.AgentConfig{
+				Addr:    ln.Addr().String(),
+				AgentID: id,
+				Shards:  1,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
 			//detlint:ok goroutines -- drains stub agent reports; carries no detection state
 			go func() {
-				for range eng.Reports() { // local stubs; detection is remote
+				for range sess.Reports() { // local stubs; detection is remote
 				}
 			}()
 			for i := 0; i < intervals; i++ {
-				if _, err := eng.SubmitBatch(parts[id][i]); err != nil {
+				if _, err := sess.SubmitBatch(parts[id][i]); err != nil {
 					log.Fatal(err)
 				}
 			}
-			if err := eng.Close(); err != nil {
-				log.Fatal(err)
-			}
-			if err := agent.Close(); err != nil {
+			// One Close flushes the engine and trails the Bye frame after
+			// the final shipped interval.
+			if err := sess.Close(); err != nil {
 				log.Fatal(err)
 			}
 		}(id)

@@ -100,6 +100,13 @@ type Report struct {
 	CostReduction float64
 	// Suspicious holds the prefiltered flows when KeepSuspicious is set.
 	Suspicious []flow.Record
+	// Partial lists, sorted ascending, the agent IDs a distributed
+	// collector closed this interval without (their connections were
+	// down and their frames never arrived). Nil for local runs and for
+	// distributed intervals that merged every agent — the byte-identical
+	// determinism guarantee applies exactly to reports with a nil
+	// Partial.
+	Partial []int
 }
 
 // Pipeline is the online anomaly-extraction engine. Feed flows with

@@ -392,7 +392,10 @@ func (e *Engine) process() error {
 			rep, err = e.sink.EndInterval()
 		}
 		if err != nil {
-			return err
+			// Attribute the failure to its grid boundary: a distributed
+			// sink error ("collector unreachable") is actionable only
+			// with the interval it lost.
+			return fmt.Errorf("engine: closing interval at boundary %d: %w", boundary, err)
 		}
 		e.out <- rep
 		return nil

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 
@@ -11,80 +13,373 @@ import (
 	"anomalyx/internal/shard"
 )
 
-// Agent is the sending half of the protocol: it owns one connection to
-// a collector and ships drained interval snapshots over it. Methods are
-// serialized by an internal mutex; frames therefore appear on the wire
-// in ship order, which is the per-agent boundary monotonicity the
-// collector relies on.
-type Agent struct {
-	mu   sync.Mutex
-	conn net.Conn
-	w    *bufio.Writer
-	buf  []byte // encode scratch, reused across snapshots
-	err  error  // first write error; the stream is dead after it
+// FrameKind selects the encoding Ship uses for a drained interval.
+type FrameKind byte
+
+// The two interval encodings: the lean open-interval form agents ship
+// every boundary (clone histograms + flow buffer, no detection
+// history), and the full snapshot form for checkpoint-style transfers
+// where history matters.
+const (
+	// KindOpenInterval is the per-interval lean encoding; Ship refuses
+	// snapshots that carry detection history (an agent never does).
+	KindOpenInterval FrameKind = iota
+	// KindSnapshot is the full pipeline snapshot, history included.
+	KindSnapshot
+)
+
+// AgentOptions parameterizes the survivable agent session: the redial
+// policy and the replay-buffer bound. The zero value is a working
+// default (8 redials with jittered backoff, 64 buffered frames).
+type AgentOptions struct {
+	// Retry is the redial policy after a lost connection; see
+	// RetryConfig for zero-value defaults.
+	Retry RetryConfig
+	// ReplayBuffer bounds how many shipped-but-unacked interval frames
+	// the agent retains for replay after a reconnect. When the buffer
+	// is full, Ship blocks until the collector acks (backpressure
+	// through the engine) — frames are never silently dropped. 0 takes
+	// the default (64).
+	ReplayBuffer int
+	// Dialer opens a new collector connection for the initial connect
+	// and every redial. DialAgent fills it with a TCP dial of its addr;
+	// leave it nil with NewAgent and the agent cannot redial (a lost
+	// connection is then a permanent error, the pre-v3 behavior).
+	Dialer func() (net.Conn, error)
 }
 
-// Dial connects to a collector, performs the Hello handshake for the
-// given agent ID, and returns the ready agent. cfg must be the same
-// pipeline configuration the collector was started with (its detection
-// digest is what the handshake carries).
-func Dial(addr string, agentID int, cfg core.Config) (*Agent, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dialing collector: %w", err)
+// withDefaults resolves the zero values.
+func (o AgentOptions) withDefaults() AgentOptions {
+	o.Retry = o.Retry.withDefaults()
+	if o.ReplayBuffer == 0 {
+		o.ReplayBuffer = 64
 	}
-	a, err := NewAgent(conn, agentID, cfg)
-	if err != nil {
-		conn.Close()
+	if o.ReplayBuffer < 1 {
+		o.ReplayBuffer = 1
+	}
+	return o
+}
+
+// replayEntry is one shipped interval frame retained until acked: the
+// frame type, its grid boundary, and the encoded payload ready to be
+// rewritten verbatim on a replacement connection.
+type replayEntry struct {
+	typ      byte
+	boundary int64
+	payload  []byte
+}
+
+// Agent is the sending half of the protocol: it owns one logical stream
+// to a collector that survives connection loss. Shipped interval frames
+// stay in a bounded replay buffer until the collector acks their
+// boundary; on a broken connection the agent redials with jittered
+// exponential backoff, re-Hellos with a resume offset, and resends the
+// unacked frames — the collector deduplicates, so the report stream is
+// unaffected by drops and reconnects (determinism: replayed boundaries
+// absorb exactly once, in the same agent-ID order as an undisturbed
+// run). Methods are serialized by an internal mutex; frames appear on
+// each connection in ship order, the per-agent boundary monotonicity
+// the collector checks.
+type Agent struct {
+	id     int
+	digest uint64
+	opts   AgentOptions
+	rng    *rand.Rand // seeded jitter source; never influences report bytes
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals ack progress and connection-state changes
+	conn net.Conn   // nil while disconnected
+	w    *bufio.Writer
+	gen  int // connection generation; stale readLoops see a mismatch and exit
+
+	replay     []replayEntry // unacked frames, boundary ascending
+	acked      int64         // highest collector-acked boundary
+	reconnects int
+	permErr    error // the stream is dead after it
+	closed     bool
+	byeOK      bool // the collector confirmed our Bye
+
+	buf []byte // encode scratch, reused across snapshots
+}
+
+// DialAgent connects to a collector at addr, performs the v3 handshake
+// for the given agent ID, and returns the ready agent. cfg must be the
+// pipeline configuration the collector was started with (its detection
+// digest is what the handshake carries; a mismatch surfaces as a
+// *ConfigMismatchError). The initial connect uses the same retry policy
+// as redials, so an agent may come up before its collector.
+func DialAgent(addr string, agentID int, cfg core.Config, opts AgentOptions) (*Agent, error) {
+	if agentID < 0 {
+		return nil, fmt.Errorf("wire: negative agent ID %d", agentID)
+	}
+	opts = opts.withDefaults()
+	if opts.Dialer == nil {
+		opts.Dialer = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	a := newAgent(agentID, cfg, opts)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.reconnectLocked(max(1, a.redialAttempts())); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
-// NewAgent wraps an established connection, sending the Hello frame.
+// Dial connects to a collector with default options.
+//
+// Deprecated: use DialAgent, which exposes the retry and replay-buffer
+// options; Dial is DialAgent with the zero AgentOptions.
+func Dial(addr string, agentID int, cfg core.Config) (*Agent, error) {
+	return DialAgent(addr, agentID, cfg, AgentOptions{})
+}
+
+// NewAgent wraps an established connection, performing the v3
+// handshake on it. An agent built this way has no dialer: it still
+// buffers frames until acked, but a lost connection is a permanent
+// error (set AgentOptions.Dialer via DialAgent for redials).
 func NewAgent(conn net.Conn, agentID int, cfg core.Config) (*Agent, error) {
 	if agentID < 0 {
 		return nil, fmt.Errorf("wire: negative agent ID %d", agentID)
 	}
-	a := &Agent{conn: conn, w: bufio.NewWriter(conn)}
-	if err := writeFrame(a.w, frameHello, appendHello(nil, agentID, ConfigDigest(cfg))); err != nil {
+	a := newAgent(agentID, cfg, AgentOptions{}.withDefaults())
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.handshakeLocked(conn); err != nil {
 		return nil, err
-	}
-	if err := a.w.Flush(); err != nil {
-		return nil, fmt.Errorf("wire: sending hello: %w", err)
 	}
 	return a, nil
 }
 
-// ShipSnapshot sends one drained interval as a full snapshot frame: the
-// absolute grid boundary (Unix ms) and the complete pipeline snapshot,
-// detection history included. Each snapshot is flushed whole, so the
-// collector sees complete intervals or nothing. For the per-interval
-// agent cadence prefer ShipOpenInterval — an agent's history is always
-// empty, and the lean frame skips its zero bytes.
-func (a *Agent) ShipSnapshot(boundary int64, s core.PipelineSnapshot) error {
-	return a.ship(frameSnapshot, boundary, s)
+// newAgent builds the shared state; the caller connects.
+func newAgent(agentID int, cfg core.Config, opts AgentOptions) *Agent {
+	a := &Agent{
+		id:     agentID,
+		digest: ConfigDigest(cfg),
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Retry.Seed)),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
 }
 
-// ShipOpenInterval sends one drained interval in the lean
-// open-interval-only encoding (clone histograms and flow buffer, no
-// detection history). It errors — before touching the stream — if the
-// snapshot carries history, which a drained agent pipeline never does;
-// use ShipSnapshot for full checkpoints.
-func (a *Agent) ShipOpenInterval(boundary int64, s core.PipelineSnapshot) error {
-	if err := openIntervalOnly(s); err != nil {
+// redialAttempts resolves the configured redial budget: negative
+// MaxAttempts disables reconnection.
+func (a *Agent) redialAttempts() int {
+	if a.opts.Retry.MaxAttempts < 0 {
+		return 0
+	}
+	return a.opts.Retry.MaxAttempts
+}
+
+// handshakeLocked performs the v3 handshake on conn — Hello carrying
+// the resume offset (the highest acked boundary), then the collector's
+// HelloOK or Error reply — trims the replay buffer to the collector's
+// resume line, resends the remaining unacked frames in boundary order,
+// and installs conn as the live connection with a fresh read loop.
+// a.mu must be held. On error the caller owns closing conn.
+func (a *Agent) handshakeLocked(conn net.Conn) error {
+	w := bufio.NewWriter(conn)
+	if err := writeFrame(w, frameHello, appendHello(nil, protoVersion, a.id, a.acked, a.digest)); err != nil {
 		return err
 	}
-	return a.ship(frameOpenInterval, boundary, s)
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("wire: sending hello: %w", err)
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("wire: reading hello reply: %w", err)
+	}
+	switch typ {
+	case frameHelloOK:
+	case frameError:
+		return decodeError(payload)
+	default:
+		return fmt.Errorf("wire: expected hello reply, got frame type %d", typ)
+	}
+	resume, err := decodeBoundary(payload)
+	if err != nil {
+		return err
+	}
+	a.ackLocked(resume) // frames at or below the collector's line are settled
+	for i := range a.replay {
+		if err := writeFrame(w, a.replay[i].typ, a.replay[i].payload); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("wire: replaying unacked frames: %w", err)
+	}
+	a.conn, a.w = conn, w
+	a.gen++
+	go a.readLoop(conn, a.gen)
+	return nil
 }
 
-// ship frames, encodes, and flushes one drained interval.
-func (a *Agent) ship(typ byte, boundary int64, s core.PipelineSnapshot) error {
+// reconnectLocked redials up to attempts times with jittered backoff,
+// handshaking each new connection; it settles permErr when the budget
+// is exhausted or the collector rejects the stream. a.mu must be held.
+func (a *Agent) reconnectLocked(attempts int) error {
+	if a.opts.Dialer == nil {
+		a.permErr = fmt.Errorf("wire: agent %d: connection lost and no dialer configured", a.id)
+		a.cond.Broadcast()
+		return a.permErr
+	}
+	var lastErr error = fmt.Errorf("wire: agent %d: reconnection disabled", a.id)
+	for attempt := 0; attempt < attempts; attempt++ {
+		if a.closed {
+			return fmt.Errorf("wire: agent %d closed", a.id)
+		}
+		delay := a.opts.Retry.backoff(attempt, a.rng)
+		a.mu.Unlock()
+		if delay > 0 {
+			a.opts.Retry.Sleep(delay)
+		}
+		conn, err := a.opts.Dialer()
+		a.mu.Lock()
+		if a.closed {
+			if err == nil {
+				conn.Close()
+			}
+			return fmt.Errorf("wire: agent %d closed", a.id)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := a.handshakeLocked(conn); err != nil {
+			conn.Close()
+			var mismatch *ConfigMismatchError
+			if errors.As(err, &mismatch) || errors.Is(err, errSessionEnded) {
+				a.permErr = err
+				a.cond.Broadcast()
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		a.reconnects++
+		return nil
+	}
+	a.permErr = fmt.Errorf("wire: agent %d: collector unreachable after %d attempts: %w",
+		a.id, attempts, lastErr)
+	a.cond.Broadcast()
+	return a.permErr
+}
+
+// ackLocked advances the cumulative ack line to boundary and drops the
+// settled prefix of the replay buffer. a.mu must be held.
+func (a *Agent) ackLocked(boundary int64) {
+	if boundary <= a.acked {
+		return
+	}
+	a.acked = boundary
+	n := 0
+	for n < len(a.replay) && a.replay[n].boundary <= boundary {
+		n++
+	}
+	if n > 0 {
+		a.replay = append(a.replay[:0], a.replay[n:]...)
+	}
+	a.cond.Broadcast()
+}
+
+// readLoop consumes the collector→agent side of one connection: Ack
+// frames advance the ack line, an Error frame kills the stream, and a
+// read failure marks the connection lost (the next Ship redials).
+func (a *Agent) readLoop(conn net.Conn, gen int) {
+	br := bufio.NewReader(conn)
+	for {
+		typ, payload, err := readFrame(br)
+		a.mu.Lock()
+		if gen != a.gen || a.closed {
+			a.mu.Unlock()
+			return // a newer connection took over, or Close ran
+		}
+		if err != nil {
+			a.conn, a.w = nil, nil
+			a.cond.Broadcast()
+			a.mu.Unlock()
+			conn.Close()
+			return
+		}
+		switch typ {
+		case frameAck:
+			if b, derr := decodeBoundary(payload); derr == nil {
+				a.ackLocked(b)
+			}
+		case frameByeOK:
+			a.byeOK = true
+			a.cond.Broadcast()
+		case frameError:
+			a.permErr = decodeError(payload)
+			a.conn, a.w = nil, nil
+			a.cond.Broadcast()
+			a.mu.Unlock()
+			conn.Close()
+			return
+		default:
+			// Unknown collector frames are skipped for forward
+			// compatibility; the length prefix delimits them.
+		}
+		a.mu.Unlock()
+	}
+}
+
+// Ship sends one drained interval tagged with its absolute grid
+// boundary (Unix ms), in the encoding kind selects. The frame enters
+// the replay buffer first and leaves it only when the collector acks
+// the boundary, so a connection lost at any point is survivable: Ship
+// redials and replays per the retry policy, blocking (backpressure)
+// rather than dropping when the buffer is full. Boundaries must be
+// strictly increasing per agent. A permanent failure — retry budget
+// exhausted, config mismatch, no dialer — is returned and sticks.
+func (a *Agent) Ship(boundary int64, s core.PipelineSnapshot, kind FrameKind) error {
+	var typ byte
+	switch kind {
+	case KindOpenInterval:
+		if err := openIntervalOnly(s); err != nil {
+			return err
+		}
+		typ = frameOpenInterval
+	case KindSnapshot:
+		typ = frameSnapshot
+	default:
+		return fmt.Errorf("wire: unknown frame kind %d", kind)
+	}
+
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.err != nil {
-		return a.err
+	if a.closed {
+		return fmt.Errorf("wire: agent %d closed", a.id)
 	}
+	if a.permErr != nil {
+		return a.permErr
+	}
+	if boundary <= a.acked {
+		return fmt.Errorf("wire: agent %d boundary %d not after acked %d", a.id, boundary, a.acked)
+	}
+	if n := len(a.replay); n > 0 && boundary <= a.replay[n-1].boundary {
+		return fmt.Errorf("wire: agent %d boundary %d not after %d", a.id, boundary, a.replay[n-1].boundary)
+	}
+
+	// Wait for replay space; acks free it, a dead connection has to be
+	// redialed first for them to arrive.
+	for len(a.replay) >= a.opts.ReplayBuffer {
+		if a.permErr != nil {
+			return a.permErr
+		}
+		if a.closed {
+			return fmt.Errorf("wire: agent %d closed", a.id)
+		}
+		if a.conn == nil {
+			if err := a.reconnectLocked(a.redialAttempts()); err != nil {
+				return err
+			}
+			continue
+		}
+		a.cond.Wait()
+	}
+
 	a.buf = appendVarint(a.buf[:0], boundary)
 	a.buf = append(a.buf, codecVersion)
 	if typ == frameOpenInterval {
@@ -92,34 +387,111 @@ func (a *Agent) ship(typ byte, boundary int64, s core.PipelineSnapshot) error {
 	} else {
 		a.buf = AppendPipelineSnapshot(a.buf, s)
 	}
-	if err := writeFrame(a.w, typ, a.buf); err != nil {
-		a.err = err
-		return err
+	entry := replayEntry{typ: typ, boundary: boundary, payload: append([]byte(nil), a.buf...)}
+	a.replay = append(a.replay, entry)
+
+	if a.conn == nil {
+		// The reconnect handshake replays the whole buffer, the new
+		// entry included.
+		return a.reconnectLocked(a.redialAttempts())
 	}
-	if err := a.w.Flush(); err != nil {
-		a.err = fmt.Errorf("wire: flushing snapshot: %w", err)
-		return a.err
+	if err := writeFrame(a.w, entry.typ, entry.payload); err == nil {
+		if err = a.w.Flush(); err == nil {
+			return nil
+		}
 	}
-	return nil
+	// The write broke the connection; the entry is safe in the replay
+	// buffer, so redialing both repairs the stream and resends it.
+	a.dropConnLocked()
+	return a.reconnectLocked(a.redialAttempts())
 }
 
-// Close sends the Bye frame and closes the connection. The final
+// dropConnLocked closes and forgets the current connection. a.mu must
+// be held.
+func (a *Agent) dropConnLocked() {
+	if a.conn != nil {
+		a.conn.Close()
+		a.conn, a.w = nil, nil
+		a.gen++ // retire the read loop
+	}
+}
+
+// Acked returns the highest boundary the collector has acknowledged —
+// every frame at or below it is absorbed (and durable when the
+// collector checkpoints).
+func (a *Agent) Acked() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acked
+}
+
+// Close ends the stream: it sends the Bye frame, waits for the
+// collector's ByeOK confirmation, and closes the connection. The final
 // partial interval must already have been shipped (the engine's Close
-// flushes it through the sink before the sink's Close runs).
+// flushes it through the sink before the sink's Close runs). Delivery
+// is at-least-once end to end: a connection that dies before the
+// confirmation — unacked frames included — is redialed per the retry
+// policy and the Bye resent, so a collector holding the session open
+// for this agent always learns it ended.
 func (a *Agent) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
 	var err error
-	if a.err == nil {
-		err = writeFrame(a.w, frameBye, nil)
-		if err == nil {
-			err = a.w.Flush()
+	if a.permErr == nil {
+		err = a.sendByeLocked()
+	}
+	a.closed = true
+	a.gen++
+	if a.conn != nil {
+		if cerr := a.conn.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("wire: closing agent connection: %w", cerr)
 		}
+		a.conn, a.w = nil, nil
 	}
-	if cerr := a.conn.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("wire: closing agent connection: %w", cerr)
-	}
+	a.cond.Broadcast()
 	return err
+}
+
+// sendByeLocked delivers the end-of-stream marker reliably: write Bye,
+// wait until the collector confirms it with ByeOK, and if the
+// connection dies first, redial (replaying any unacked frames) and
+// resend. Without the confirmation a Bye swallowed by a dying
+// connection would leave the collector waiting forever for an agent
+// that already exited. a.mu must be held.
+func (a *Agent) sendByeLocked() error {
+	for {
+		if a.conn == nil {
+			if a.opts.Dialer == nil && len(a.replay) == 0 {
+				// Nothing undelivered and no way to redial: end without
+				// the marker (the pre-v3 contract for wrapped conns).
+				return nil
+			}
+			if err := a.reconnectLocked(a.redialAttempts()); err != nil {
+				if errors.Is(err, errSessionEnded) {
+					return nil // the Bye landed; only its confirmation was lost
+				}
+				return err
+			}
+		}
+		if err := writeFrame(a.w, frameBye, nil); err == nil {
+			if err = a.w.Flush(); err == nil {
+				for !a.byeOK && a.conn != nil && a.permErr == nil {
+					a.cond.Wait()
+				}
+				if a.permErr != nil {
+					return a.permErr
+				}
+				if a.byeOK {
+					return nil
+				}
+				continue // connection died before ByeOK; resend
+			}
+		}
+		a.dropConnLocked()
+	}
 }
 
 // AgentSink adapts an agent and a local sharded pipeline into an
@@ -164,7 +536,7 @@ func (s *AgentSink) EndIntervalAt(boundary int64) (*core.Report, error) {
 	// carries no history, so the lean open-interval frame is lossless
 	// here and skips the all-zero reference/KL bytes a full frame would
 	// spend on every interval.
-	if err := s.agent.ShipOpenInterval(boundary, snap); err != nil {
+	if err := s.agent.Ship(boundary, snap, KindOpenInterval); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -103,7 +104,7 @@ func BenchmarkLoopbackInterval(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer ln.Close()
-	coll, err := wire.NewCollector(cfg, agents)
+	coll, err := wire.NewCollector(cfg, wire.CollectorConfig{Agents: agents})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func BenchmarkLoopbackInterval(b *testing.B) {
 	serveErr := make(chan error, 1)
 	go func() {
 		defer close(reports)
-		serveErr <- coll.Serve(ln, func(rep *core.Report) error {
+		serveErr <- coll.Serve(context.Background(), ln, func(rep *core.Report) error {
 			reports <- rep
 			return nil
 		})

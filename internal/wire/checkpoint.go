@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+
+	"anomalyx/internal/core"
+)
+
+// checkpointMagic starts every checkpoint file, so a collector pointed
+// at the wrong path fails with a clear error instead of a codec one.
+var checkpointMagic = [4]byte{'A', 'X', 'C', 'P'}
+
+// checkpoint is a collector session's durable state: everything a
+// restarted collector needs to resume emitting the exact report stream
+// an unrestarted run would have produced from the next interval on.
+// Frames absorbed after the checkpoint was written are covered by the
+// ack protocol instead: acks are sent only after the checkpoint that
+// contains their boundary, so whatever a restart loses is still in
+// some agent's replay buffer.
+type checkpoint struct {
+	lastClosed int64
+	emitted    int64
+	absorbed   []int64       // per-agent absorbed boundary, indexed by ID
+	statuses   []agentStatus // per-agent status at checkpoint time
+	snap       core.PipelineSnapshot
+}
+
+// appendCheckpoint encodes a checkpoint: magic, codec version, session
+// counters, the per-agent table, then the full pipeline snapshot.
+func appendCheckpoint(b []byte, c checkpoint) []byte {
+	b = append(b, checkpointMagic[:]...)
+	b = append(b, codecVersion)
+	b = appendVarint(b, c.lastClosed)
+	b = appendVarint(b, c.emitted)
+	b = appendUvarint(b, uint64(len(c.absorbed)))
+	for i := range c.absorbed {
+		b = appendVarint(b, c.absorbed[i])
+		b = append(b, byte(c.statuses[i]))
+	}
+	return AppendPipelineSnapshot(b, c.snap)
+}
+
+// decodeCheckpoint parses a checkpoint file's contents.
+func decodeCheckpoint(payload []byte) (checkpoint, error) {
+	r := &reader{buf: payload}
+	var magic [4]byte
+	for i := range magic {
+		magic[i] = r.byte()
+	}
+	if r.err() == nil && magic != checkpointMagic {
+		return checkpoint{}, fmt.Errorf("wire: bad checkpoint magic %q", magic[:])
+	}
+	if v := r.byte(); r.err() == nil && v != codecVersion {
+		r.fail("unsupported checkpoint codec version %d (want %d)", v, codecVersion)
+	}
+	var c checkpoint
+	c.lastClosed = r.varint()
+	c.emitted = r.varint()
+	n := r.length(2)
+	c.absorbed = make([]int64, n)
+	c.statuses = make([]agentStatus, n)
+	for i := 0; i < n; i++ {
+		c.absorbed[i] = r.varint()
+		s := agentStatus(r.byte())
+		if r.err() == nil && s > statusBye {
+			r.fail("invalid agent status %d", s)
+		}
+		c.statuses[i] = s
+	}
+	c.snap = decodePipelineBody(r)
+	r.expectEOF()
+	if r.err() != nil {
+		return checkpoint{}, r.err()
+	}
+	return c, nil
+}
+
+// writeCheckpointFile atomically replaces path with the encoded
+// checkpoint: write to a sibling temp file, then rename over, so a
+// crash mid-write leaves the previous checkpoint intact.
+func writeCheckpointFile(path string, c checkpoint) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, appendCheckpoint(nil, c), 0o644); err != nil {
+		return fmt.Errorf("wire: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wire: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpointFile reads and decodes the checkpoint at path.
+func loadCheckpointFile(path string) (checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return checkpoint{}, fmt.Errorf("wire: reading checkpoint: %w", err)
+	}
+	return decodeCheckpoint(b)
+}

@@ -2,40 +2,159 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
 
 	"anomalyx/internal/core"
+	"anomalyx/internal/wire/metrics"
 )
 
-// Collector is the receiving half of the protocol: it accepts one
-// connection per agent, groups incoming interval snapshots by their
-// absolute grid boundary, absorbs each group into its primary pipeline
-// in agent-ID order (the same Absorb merge path in-process sharding
-// uses), and closes detection there. Because the agents' histogram
-// clones are built from the same seeds as the collector's, the merged
-// state — and therefore every report — is byte-identical to a single
-// process having run all agent partitions as local shards.
+// PartialPolicy selects what the collector does with an interval whose
+// boundary is pending while some agent is disconnected.
+type PartialPolicy int
+
+const (
+	// HoldWithTimeout (the default) holds the interval open waiting for
+	// the missing agent to reconnect and deliver; after HoldTimeout the
+	// agent is declared dead and the interval closes without it, flagged
+	// Partial. A zero HoldTimeout holds forever.
+	HoldWithTimeout PartialPolicy = iota
+	// CloseWithout closes intervals immediately without disconnected
+	// agents, flagging them Partial. Connected agents are always waited
+	// for (their frames are in flight or their connection will break),
+	// so this policy only degrades reports when a connection is
+	// actually down.
+	CloseWithout
+)
+
+// String names the policy.
+func (p PartialPolicy) String() string {
+	switch p {
+	case HoldWithTimeout:
+		return "hold-with-timeout"
+	case CloseWithout:
+		return "close-without"
+	default:
+		return fmt.Sprintf("partial-policy(%d)", int(p))
+	}
+}
+
+// CollectorConfig parameterizes a collector session beyond the pipeline
+// configuration: fleet size, partial-interval policy, checkpointing,
+// and the metrics listener.
+type CollectorConfig struct {
+	// Agents is the fleet size; agent IDs must be in [0, Agents).
+	Agents int
+	// Policy selects the partial-interval behavior; see PartialPolicy.
+	Policy PartialPolicy
+	// HoldTimeout bounds how long HoldWithTimeout waits for a
+	// disconnected agent before closing without it. 0 holds forever.
+	HoldTimeout time.Duration
+	// CheckpointPath, when non-empty, makes the collector write its
+	// durable state there (atomic temp+rename) after every closed
+	// interval, before acking the interval's frames.
+	CheckpointPath string
+	// Resume makes Serve rehydrate from CheckpointPath before accepting
+	// connections: the pipeline state, interval numbering, and per-agent
+	// dedup lines continue where the checkpointed session stopped.
+	Resume bool
+	// MetricsAddr, when non-empty, serves the session's expvar metrics
+	// over HTTP on that address for the lifetime of Serve.
+	MetricsAddr string
+
+	// queueCap bounds the per-agent pending-frame queue via ingest
+	// credits; 0 takes the default (4). Unexported: tests tune it.
+	queueCap int
+}
+
+// withDefaults resolves the zero values.
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.queueCap == 0 {
+		c.queueCap = 4
+	}
+	return c
+}
+
+// agentStatus is the collector's per-agent connection-state machine.
+type agentStatus uint8
+
+const (
+	// statusPending: never connected this session. Blocks interval
+	// closes under both policies — the session has no grid information
+	// from the agent yet, and startup skew must not produce partial
+	// reports.
+	statusPending agentStatus = iota
+	// statusLive: connected. Blocks closes until its next frame arrives
+	// (in-order delivery means the frame is coming or the connection
+	// will break).
+	statusLive
+	// statusDown: disconnected, expected back (v3, HoldWithTimeout).
+	// Blocks closes until it reconnects or the hold timer fires.
+	statusDown
+	// statusDead: disconnected and not waited for — a v2 drop (cannot
+	// replay), a drop under CloseWithout, or a hold timeout. Never
+	// blocks; intervals close without it, flagged Partial. A v3 agent
+	// may still reconnect out of it.
+	statusDead
+	// statusBye: ended its stream cleanly. Never blocks; a later hello
+	// for the same ID is rejected.
+	statusBye
+)
+
+func (s agentStatus) metricsName() string {
+	switch s {
+	case statusLive:
+		return metrics.StatusLive
+	case statusDown:
+		return metrics.StatusDown
+	case statusDead:
+		return metrics.StatusDead
+	case statusBye:
+		return metrics.StatusBye
+	default:
+		return metrics.StatusPending
+	}
+}
+
+// Collector is the receiving half of the protocol. It merges the
+// agents' drained interval frames by absolute grid boundary, absorbing
+// each boundary's frames into its primary pipeline in agent-ID order
+// (the same Absorb merge path in-process sharding uses) and closing
+// detection there, so the merged report stream is byte-identical to a
+// single process having run all agent partitions as local shards.
 //
-// Agents whose streams start late or end early are handled by the
-// boundary keying: an agent contributes to exactly the grid intervals
-// its records fell into, and intervals it never saw merge without it —
-// just as its partition would have contributed nothing to them in a
-// single-process run.
+// Unlike the pre-v3 collector, a session survives its transports:
+// connections may drop and reconnect freely (agents replay unacked
+// frames; the collector deduplicates against its per-agent absorbed
+// line and queue tail), a replacement connection for an agent ID
+// supersedes the old one (newest wins — the legitimate owner of an ID
+// is whoever can still dial), and a permanently missing agent degrades
+// reports per the PartialPolicy instead of killing the session. Only
+// listener, pipeline, emit, checkpoint, and context errors are fatal.
 type Collector struct {
-	agents  int
+	cc      CollectorConfig
 	digest  uint64
 	primary *core.Pipeline // owns all detection state
 	scratch *core.Pipeline // decode target, reused across snapshots
+	met     *metrics.Session
 }
 
-// NewCollector builds a collector for the given number of agents. cfg
-// is the full pipeline configuration — detection parameters must match
-// the agents' (enforced via the handshake digest), and the mining-side
-// settings (miner, support, prefilter) are the ones that actually run.
-func NewCollector(cfg core.Config, agents int) (*Collector, error) {
-	if agents < 1 {
-		return nil, fmt.Errorf("wire: collector needs at least 1 agent, got %d", agents)
+// NewCollector builds a collector. cfg is the full pipeline
+// configuration — detection parameters must match the agents' (enforced
+// via the handshake digest), and the mining-side settings (miner,
+// support, prefilter) are the ones that actually run.
+func NewCollector(cfg core.Config, cc CollectorConfig) (*Collector, error) {
+	cc = cc.withDefaults()
+	if cc.Agents < 1 {
+		return nil, fmt.Errorf("wire: collector needs at least 1 agent, got %d", cc.Agents)
+	}
+	if cc.Resume && cc.CheckpointPath == "" {
+		return nil, fmt.Errorf("wire: Resume requires CheckpointPath")
 	}
 	primary, err := core.New(cfg)
 	if err != nil {
@@ -47,12 +166,18 @@ func NewCollector(cfg core.Config, agents int) (*Collector, error) {
 		return nil, err
 	}
 	return &Collector{
-		agents:  agents,
+		cc:      cc,
 		digest:  ConfigDigest(cfg),
 		primary: primary,
 		scratch: scratch,
+		met:     metrics.NewSession(cc.Agents),
 	}, nil
 }
+
+// Metrics returns the session's metrics surface, for callers that want
+// to expvar.Publish it or serve it themselves (MetricsAddr does the
+// latter in-process).
+func (c *Collector) Metrics() *metrics.Session { return c.met }
 
 // Close releases the collector's pipelines. It must not be called while
 // Serve is running.
@@ -61,200 +186,768 @@ func (c *Collector) Close() {
 	c.scratch.Close()
 }
 
-// agentFrame is one decoded message from an agent's read loop.
-type agentFrame struct {
+// Event kinds of the merge loop. Everything that happens to a session —
+// handshakes, frames, disconnects, timeouts — is serialized into one
+// event stream consumed by a single goroutine that owns all merge
+// state.
+type eventKind int
+
+const (
+	evHello eventKind = iota
+	evFrame
+	evBye
+	evConnErr
+	evAcceptErr
+	evHoldTimeout
+)
+
+// event is one merge-loop input.
+type event struct {
+	kind  eventKind
+	conn  net.Conn
+	hello hello
+	reply chan helloReply
+
+	id, gen  int
 	boundary int64
 	snap     core.PipelineSnapshot
-	bye      bool
 	err      error
 }
 
-// Serve accepts exactly the configured number of agent connections on
-// ln, then runs the merge loop until every agent has said Bye, calling
-// emit for each closed interval's report in boundary order. It returns
-// the first protocol, pipeline, or emit error. Serve runs the whole
-// session; it does not accept replacement connections.
-func (c *Collector) Serve(ln net.Listener, emit func(*core.Report) error) error {
-	conns := make([]net.Conn, c.agents)
-	defer func() {
-		for _, conn := range conns {
-			if conn != nil {
-				conn.Close()
-			}
-		}
-	}()
-	// Handshake: every agent ID in [0, agents), each exactly once. The
-	// conns slice is indexed by agent ID, fixing the merge order no
-	// matter the connection order.
-	for i := 0; i < c.agents; i++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			return fmt.Errorf("wire: accepting agent connection: %w", err)
-		}
-		typ, payload, err := readFrame(conn)
-		if err != nil {
-			conn.Close()
-			return err
-		}
-		if typ != frameHello {
-			conn.Close()
-			return fmt.Errorf("wire: expected hello frame, got type %d", typ)
-		}
-		h, err := decodeHello(payload)
-		if err != nil {
-			conn.Close()
-			return err
-		}
-		if h.agentID < 0 || h.agentID >= c.agents {
-			conn.Close()
-			return fmt.Errorf("wire: agent ID %d out of range [0,%d)", h.agentID, c.agents)
-		}
-		if conns[h.agentID] != nil {
-			conn.Close()
-			return fmt.Errorf("wire: duplicate agent ID %d", h.agentID)
-		}
-		if h.digest != c.digest {
-			conn.Close()
-			return fmt.Errorf("wire: agent %d config digest %#x does not match collector %#x",
-				h.agentID, h.digest, c.digest)
-		}
-		conns[h.agentID] = conn
-	}
-
-	chans := make([]chan agentFrame, c.agents)
-	for id, conn := range conns {
-		chans[id] = make(chan agentFrame, 4)
-		go readAgent(conn, chans[id])
-	}
-	err := c.merge(chans, emit)
-	// Unblock any reader still sending after an early merge exit: the
-	// deferred conn closes error their reads out, and these drainers
-	// consume whatever they had in flight so they can terminate.
-	for _, ch := range chans {
-		go func(ch <-chan agentFrame) {
-			for range ch {
-			}
-		}(ch)
-	}
-	return err
+// helloReply is the merge loop's answer to a handshake: either a
+// rejection (err + frame error code) or the attachment the connection
+// handler reads frames under.
+type helloReply struct {
+	err     error
+	code    uint64
+	gen     int
+	credits chan struct{}
 }
 
-// readAgent decodes one agent's frame stream into ch; it terminates on
-// Bye or error and always closes ch.
-func readAgent(conn net.Conn, ch chan<- agentFrame) {
-	defer close(ch)
+// queuedFrame is one received-but-unabsorbed interval frame.
+type queuedFrame struct {
+	boundary int64
+	snap     core.PipelineSnapshot
+}
+
+// agentState is the merge loop's per-agent record.
+type agentState struct {
+	status   agentStatus
+	gen      int           // connection generation; stale events carry an older one
+	conn     net.Conn      // live connection, nil otherwise
+	ackCh    chan int64    // latest-wins ack channel to the connection's ack writer (v3 only)
+	credits  chan struct{} // ingest tokens the connection's reader consumes
+	v2       bool          // protocol v2: no acks, a drop is final
+	queue    []queuedFrame // pending frames, boundary ascending
+	absorbed int64         // highest boundary absorbed into the primary
+	// emittedAtAbsorb is the session's emitted count when the agent last
+	// participated in a close; emitted - emittedAtAbsorb is its lag.
+	emittedAtAbsorb int64
+}
+
+// tail returns the agent's highest queued boundary, or its absorbed
+// line when the queue is empty — the dedup line replayed frames must
+// exceed.
+func (a *agentState) tail() int64 {
+	if n := len(a.queue); n > 0 {
+		return a.queue[n-1].boundary
+	}
+	return a.absorbed
+}
+
+// session is the per-Serve mutable state, owned by the merge loop.
+type session struct {
+	ag         []*agentState
+	lastClosed int64
+	emitted    int64
+	events     chan event
+	done       chan struct{}
+	// forget removes a connection from Serve's teardown set — called when
+	// a Bye hands the connection to its ack writer, whose final ByeOK
+	// write must not race the session-end mass close.
+	forget func(net.Conn)
+	// writers counts live ack-writer goroutines. Serve waits for them on
+	// return so a collector process exiting right after the session ends
+	// cannot kill a pending ByeOK write — in-process the goroutine would
+	// finish anyway, but process exit would sever it mid-confirmation and
+	// strand the agent redialing a dead listener.
+	writers sync.WaitGroup
+
+	holdTimer *time.Timer
+	holdFor   int64 // boundary the armed timer covers, -1 when disarmed
+}
+
+// Serve runs one collector session on ln until every agent has ended
+// (Bye) or been abandoned (dead with nothing pending), calling emit for
+// each closed interval's report in boundary order. It accepts
+// connections for the whole session — initial connects, reconnects, and
+// replacements — and closes ln on return. Cancelling ctx shuts the
+// session down and returns ctx.Err().
+func (c *Collector) Serve(ctx context.Context, ln net.Listener, emit func(*core.Report) error) error {
+	s := &session{
+		events:  make(chan event, 16),
+		done:    make(chan struct{}),
+		holdFor: -1,
+	}
+	s.ag = make([]*agentState, c.cc.Agents)
+	for i := range s.ag {
+		s.ag[i] = &agentState{}
+	}
+	if c.cc.Resume {
+		if err := c.restore(s); err != nil {
+			return err
+		}
+	}
+
+	if c.cc.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", c.cc.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("wire: metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: c.met.Handler()}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+	}
+
+	// Track every accepted connection so session teardown can unblock
+	// handler goroutines parked in reads.
+	var cmu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	s.forget = func(conn net.Conn) {
+		cmu.Lock()
+		delete(conns, conn)
+		cmu.Unlock()
+	}
+	defer func() {
+		close(s.done)
+		ln.Close()
+		s.stopHold()
+		cmu.Lock()
+		//detlint:ok maprange -- teardown closes every tracked conn; Close order is unobservable
+		for conn := range conns {
+			conn.Close()
+		}
+		cmu.Unlock()
+		s.writers.Wait()
+	}()
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case s.events <- event{kind: evAcceptErr, err: err}:
+				case <-s.done:
+				}
+				return
+			}
+			cmu.Lock()
+			conns[conn] = struct{}{}
+			cmu.Unlock()
+			go c.handleConn(conn, s.events, s.done)
+		}
+	}()
+
+	return c.merge(ctx, s, emit)
+}
+
+// restore rehydrates the session from the last checkpoint.
+func (c *Collector) restore(s *session) error {
+	cp, err := loadCheckpointFile(c.cc.CheckpointPath)
+	if err != nil {
+		return err
+	}
+	if len(cp.absorbed) != len(s.ag) {
+		return fmt.Errorf("wire: checkpoint has %d agents, collector configured for %d",
+			len(cp.absorbed), len(s.ag))
+	}
+	if err := c.primary.RestoreSnapshot(cp.snap); err != nil {
+		return fmt.Errorf("wire: restoring checkpoint pipeline: %w", err)
+	}
+	s.lastClosed = cp.lastClosed
+	s.emitted = cp.emitted
+	for id, st := range s.ag {
+		st.absorbed = cp.absorbed[id]
+		st.emittedAtAbsorb = cp.emitted
+		// Every agent is disconnected at restart: finished ones stay
+		// finished, everyone else is down (they will redial and resume).
+		switch cp.statuses[id] {
+		case statusBye:
+			st.status = statusBye
+		case statusDead:
+			st.status = statusDead
+		default:
+			st.status = statusDown
+		}
+		c.met.Agent(id).SetStatus(st.status.metricsName())
+	}
+	c.met.SetLastClosed(s.lastClosed)
+	return nil
+}
+
+// handleConn owns one accepted connection: it performs the handshake
+// against the merge loop, then decodes the agent→collector frame stream
+// into merge events, consuming one ingest credit per frame so a fast
+// agent cannot outrun the merge unboundedly. All collector→agent frames
+// on an accepted v3 connection are written by its ack writer; rejection
+// errors are written here, before any ack writer exists.
+func (c *Collector) handleConn(conn net.Conn, events chan<- event, done <-chan struct{}) {
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != frameHello {
+		conn.Close()
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		code := uint64(errCodeOther)
+		if _, ok := err.(errBadHelloVersion); ok {
+			code = errCodeBadVersion
+		}
+		writeFrame(conn, frameError, appendError(nil, code, err.Error()))
+		conn.Close()
+		return
+	}
+	reply := make(chan helloReply, 1)
+	select {
+	case events <- event{kind: evHello, conn: conn, hello: h, reply: reply}:
+	case <-done:
+		conn.Close()
+		return
+	}
+	var r helloReply
+	select {
+	case r = <-reply:
+	case <-done:
+		conn.Close()
+		return
+	}
+	if r.err != nil {
+		writeFrame(conn, frameError, appendError(nil, r.code, r.err.Error()))
+		conn.Close()
+		return
+	}
+
+	id, gen := h.agentID, r.gen
+	fail := func(err error) {
+		select {
+		case events <- event{kind: evConnErr, id: id, gen: gen, err: err}:
+		case <-done:
+		}
+	}
 	br := bufio.NewReader(conn)
+	var last int64
 	for {
+		select {
+		case <-r.credits:
+		case <-done:
+			return
+		}
 		typ, payload, err := readFrame(br)
 		if err != nil {
-			ch <- agentFrame{err: err}
+			fail(err)
 			return
 		}
 		switch typ {
 		case frameSnapshot, frameOpenInterval:
-			r := &reader{buf: payload}
-			boundary := r.varint()
-			if v := r.byte(); r.err() == nil && v != codecVersion {
-				r.fail("unsupported codec version %d (want %d)", v, codecVersion)
+			rd := &reader{buf: payload}
+			boundary := rd.varint()
+			if v := rd.byte(); rd.err() == nil && v != codecVersion {
+				rd.fail("unsupported codec version %d (want %d)", v, codecVersion)
 			}
 			var snap core.PipelineSnapshot
 			if typ == frameOpenInterval {
-				snap = decodeOpenIntervalBody(r)
+				snap = decodeOpenIntervalBody(rd)
 			} else {
-				snap = decodePipelineBody(r)
+				snap = decodePipelineBody(rd)
 			}
-			r.expectEOF()
-			if r.err() == nil && boundary <= 0 {
-				r.fail("non-positive snapshot boundary %d", boundary)
+			rd.expectEOF()
+			if rd.err() == nil && boundary <= 0 {
+				rd.fail("non-positive snapshot boundary %d", boundary)
 			}
-			if r.err() != nil {
-				ch <- agentFrame{err: r.err()}
+			if rd.err() == nil && boundary <= last {
+				rd.fail("boundary %d not after %d on one connection", boundary, last)
+			}
+			if rd.err() != nil {
+				fail(rd.err())
 				return
 			}
-			ch <- agentFrame{boundary: boundary, snap: snap}
+			last = boundary
+			select {
+			case events <- event{kind: evFrame, id: id, gen: gen, boundary: boundary, snap: snap}:
+			case <-done:
+				return
+			}
 		case frameBye:
-			ch <- agentFrame{bye: true}
+			select {
+			case events <- event{kind: evBye, id: id, gen: gen}:
+			case <-done:
+			}
 			return
 		default:
-			ch <- agentFrame{err: fmt.Errorf("wire: unexpected frame type %d", typ)}
+			fail(fmt.Errorf("wire: unexpected frame type %d", typ))
 			return
 		}
 	}
 }
 
-// merge is the collector's heart: it keeps one pending snapshot per
-// live agent, repeatedly picks the smallest pending boundary, absorbs
-// every agent's snapshot for that boundary in agent-ID order, and
-// closes the interval on the primary pipeline.
-func (c *Collector) merge(chans []chan agentFrame, emit func(*core.Report) error) error {
-	heads := make([]*agentFrame, len(chans))
-	done := make([]bool, len(chans))
-	last := make([]int64, len(chans)) // per-agent boundary monotonicity check
-	closed := 0
-	for {
-		// Fill every live agent's head so the minimum below is over the
-		// complete frontier; a lagging agent blocks here (lockstep).
-		live := false
-		for id := range chans {
-			for !done[id] && heads[id] == nil {
-				f, ok := <-chans[id]
-				if !ok || f.bye {
-					done[id] = true
-					break
-				}
-				if f.err != nil {
-					return fmt.Errorf("wire: agent %d: %w", id, f.err)
-				}
-				if f.boundary <= last[id] {
-					return fmt.Errorf("wire: agent %d boundary %d not after %d", id, f.boundary, last[id])
-				}
-				last[id] = f.boundary
-				fr := f
-				heads[id] = &fr
-			}
-			live = live || heads[id] != nil
-		}
-		if !live {
-			break
-		}
-		var b int64
-		for _, h := range heads {
-			if h != nil && (b == 0 || h.boundary < b) {
-				b = h.boundary
-			}
-		}
-		// Absorb this boundary's snapshots in agent-ID order, then close
-		// the interval on the primary — exactly the in-process shard
-		// merge, with the wire in between.
-		for id, h := range heads {
-			if h == nil || h.boundary != b {
-				continue
-			}
-			if err := c.scratch.RestoreSnapshot(h.snap); err != nil {
-				return fmt.Errorf("wire: agent %d snapshot: %w", id, err)
-			}
-			if err := c.primary.Absorb(c.scratch); err != nil {
-				return fmt.Errorf("wire: absorbing agent %d: %w", id, err)
-			}
-			heads[id] = nil
-		}
-		rep, err := c.primary.EndInterval()
-		if err != nil {
-			return err
-		}
-		if err := emit(rep); err != nil {
-			return err
-		}
-		closed++
+// byeOKSentinel on the ack channel makes the ack writer emit a ByeOK
+// confirmation instead of an Ack; it is pushed (then the channel
+// closed) when the merge loop applies the agent's Bye.
+const byeOKSentinel int64 = -1
+
+// ackWriter is the sole writer on an accepted v3 connection: first the
+// HelloOK reply carrying the agent's resume line, then an Ack frame per
+// value received on ch (or the ByeOK confirmation for the sentinel). It
+// exits on write error (the read side will notice the broken connection
+// independently), when the merge loop closes ch on retiring the
+// connection, or — for a session that ends abnormally with the
+// connection still live — on done, after draining any confirmation the
+// merge loop queued before ending. It closes conn on the way out; after
+// a confirmed Bye it is the connection's last user.
+func ackWriter(conn net.Conn, ch <-chan int64, resume int64, done <-chan struct{}) {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	if err := writeFrame(w, frameHelloOK, appendBoundary(nil, resume)); err != nil {
+		return
 	}
-	if closed == 0 {
-		// Parity with a single process over an empty stream: its engine
-		// still flushes one (empty) final interval on Close.
-		rep, err := c.primary.EndInterval()
-		if err != nil {
+	if err := w.Flush(); err != nil {
+		return
+	}
+	write := func(b int64) bool {
+		typ := byte(frameAck)
+		var payload []byte
+		if b == byeOKSentinel {
+			typ = frameByeOK
+		} else {
+			payload = appendBoundary(nil, b)
+		}
+		if err := writeFrame(w, typ, payload); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	for {
+		select {
+		case b, ok := <-ch:
+			if !ok || !write(b) {
+				return
+			}
+		case <-done:
+			// Nothing further is owed, but a confirmation the merge loop
+			// queued just before the session ended must still go out.
+			for {
+				select {
+				case b, ok := <-ch:
+					if !ok || !write(b) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// pushLatest delivers b on a capacity-1 channel, displacing a pending
+// older value — acks are cumulative, only the newest matters.
+func pushLatest(ch chan int64, b int64) {
+	for {
+		select {
+		case ch <- b:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}
+
+// merge is the collector's heart: a single goroutine that owns all
+// session state, closes every ready boundary, and applies one event at
+// a time.
+func (c *Collector) merge(ctx context.Context, s *session, emit func(*core.Report) error) error {
+	for {
+		for {
+			b, ok := s.minQueued()
+			if !ok || !s.ready(b, c.cc.Policy) {
+				break
+			}
+			s.stopHold()
+			if err := c.closeBoundary(s, b, emit); err != nil {
+				return err
+			}
+		}
+		c.armHold(s)
+
+		if s.finished() {
+			if s.emitted == 0 {
+				// Parity with a single process over an empty stream: its
+				// engine still flushes one (empty) final interval on
+				// Close.
+				rep, err := c.primary.EndInterval()
+				if err != nil {
+					return err
+				}
+				return emit(rep)
+			}
+			return nil
+		}
+
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case ev := <-s.events:
+			if err := c.handleEvent(s, ev, ctx); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// minQueued returns the smallest queued boundary across all agents.
+func (s *session) minQueued() (int64, bool) {
+	var b int64
+	ok := false
+	for _, st := range s.ag {
+		if len(st.queue) > 0 && (!ok || st.queue[0].boundary < b) {
+			b = st.queue[0].boundary
+			ok = true
+		}
+	}
+	return b, ok
+}
+
+// blocks reports whether the agent's state forbids closing a boundary
+// it has no queued frame for yet.
+func (a *agentState) blocks(policy PartialPolicy) bool {
+	if len(a.queue) > 0 {
+		return false // its earliest frame is known; at worst it skips this boundary
+	}
+	switch a.status {
+	case statusLive, statusPending:
+		return true
+	case statusDown:
+		return policy == HoldWithTimeout
+	default: // dead, bye
+		return false
+	}
+}
+
+// ready reports whether boundary b can close now: no agent that might
+// still contribute to it is missing its frame.
+func (s *session) ready(_ int64, policy PartialPolicy) bool {
+	for _, st := range s.ag {
+		if st.blocks(policy) {
+			return false
+		}
+	}
+	return true
+}
+
+// finished reports session completion: every agent ended or abandoned,
+// nothing left to absorb.
+func (s *session) finished() bool {
+	for _, st := range s.ag {
+		if len(st.queue) > 0 {
+			return false
+		}
+		if st.status != statusBye && st.status != statusDead {
+			return false
+		}
+	}
+	return true
+}
+
+// stopHold disarms the hold timer.
+func (s *session) stopHold() {
+	if s.holdTimer != nil {
+		s.holdTimer.Stop()
+		s.holdTimer = nil
+	}
+	s.holdFor = -1
+}
+
+// armHold arms the partial-interval timer when a pending boundary is
+// blocked only by disconnected (or never-connected) agents. Blockage by
+// a connected agent never times out: its frame is in flight, or its
+// connection will break and reclassify it.
+func (c *Collector) armHold(s *session) {
+	if c.cc.Policy != HoldWithTimeout || c.cc.HoldTimeout <= 0 {
+		return
+	}
+	b, ok := s.minQueued()
+	if !ok || s.ready(b, c.cc.Policy) {
+		s.stopHold()
+		return
+	}
+	for _, st := range s.ag {
+		if st.blocks(c.cc.Policy) && st.status == statusLive {
+			s.stopHold()
+			return
+		}
+	}
+	if s.holdFor == b {
+		return // already armed for this boundary
+	}
+	s.stopHold()
+	s.holdFor = b
+	boundary := b
+	s.holdTimer = time.AfterFunc(c.cc.HoldTimeout, func() {
+		select {
+		case s.events <- event{kind: evHoldTimeout, boundary: boundary}:
+		case <-s.done:
+		}
+	})
+}
+
+// refund returns one ingest credit to the agent's current connection.
+func (a *agentState) refund() {
+	if a.credits == nil {
+		return
+	}
+	select {
+	case a.credits <- struct{}{}:
+	default:
+	}
+}
+
+// retireConn drops the agent's current connection (if any), terminating
+// its ack writer and invalidating in-flight events from its reader.
+func (a *agentState) retireConn() {
+	if a.ackCh != nil {
+		close(a.ackCh)
+		a.ackCh = nil
+	}
+	if a.conn != nil {
+		a.conn.Close()
+		a.conn = nil
+	}
+	a.credits = nil
+	a.gen++
+}
+
+// finishConn ends the agent's connection after a Bye: the ack writer
+// emits the ByeOK confirmation, then exits and closes the connection
+// itself — closing here would race the confirmation off the wire and
+// leave the agent's Close redialing a session that already ended. v2
+// connections (no ack writer) close immediately; they never wait.
+func (a *agentState) finishConn() {
+	if a.ackCh != nil {
+		pushLatest(a.ackCh, byeOKSentinel)
+		close(a.ackCh)
+		a.ackCh = nil
+		a.conn = nil // the ack writer owns closing it
+	} else if a.conn != nil {
+		a.conn.Close()
+		a.conn = nil
+	}
+	a.credits = nil
+	a.gen++
+}
+
+// closeBoundary absorbs every agent's frame for boundary b in agent-ID
+// order, closes the interval on the primary pipeline, emits the report
+// (flagging agents the interval closed without), checkpoints when
+// configured, and only then acks b to the connected agents — so an
+// acked frame is never one a restarted collector would need again.
+func (c *Collector) closeBoundary(s *session, b int64, emit func(*core.Report) error) error {
+	for id, st := range s.ag {
+		if len(st.queue) == 0 || st.queue[0].boundary != b {
+			continue
+		}
+		if err := c.scratch.RestoreSnapshot(st.queue[0].snap); err != nil {
+			return fmt.Errorf("wire: agent %d snapshot: %w", id, err)
+		}
+		if err := c.primary.Absorb(c.scratch); err != nil {
+			return fmt.Errorf("wire: absorbing agent %d: %w", id, err)
+		}
+		st.queue[0] = queuedFrame{}
+		st.queue = st.queue[1:]
+		st.absorbed = b
+		st.emittedAtAbsorb = s.emitted + 1
+		st.refund()
+		c.met.Agent(id).SetQueueDepth(int64(len(st.queue)))
+	}
+	rep, err := c.primary.EndInterval()
+	if err != nil {
+		return err
+	}
+	var partial []int
+	for id, st := range s.ag {
+		// Flag the agents this interval closed without: disconnected and
+		// their frame for b neither queued nor just absorbed (absorbed is
+		// advanced to b in the loop above for every contributor, so an
+		// agent that delivered b and then dropped is not flagged).
+		if (st.status == statusDown || st.status == statusDead) && len(st.queue) == 0 && st.absorbed < b {
+			partial = append(partial, id)
+		}
+	}
+	sort.Ints(partial)
+	rep.Partial = partial
+	if err := emit(rep); err != nil {
+		return err
+	}
+	s.lastClosed = b
+	s.emitted++
+	c.met.SetLastClosed(b)
+	c.met.IncEmitted()
+	if c.cc.CheckpointPath != "" {
+		if err := c.writeCheckpoint(s); err != nil {
 			return err
 		}
-		return emit(rep)
+	}
+	for id, st := range s.ag {
+		if st.ackCh != nil {
+			pushLatest(st.ackCh, b)
+			c.met.Agent(id).SetLastAcked(b)
+		}
+		c.met.Agent(id).SetLag(s.emitted - st.emittedAtAbsorb)
 	}
 	return nil
+}
+
+// writeCheckpoint persists the session's durable state.
+func (c *Collector) writeCheckpoint(s *session) error {
+	cp := checkpoint{
+		lastClosed: s.lastClosed,
+		emitted:    s.emitted,
+		absorbed:   make([]int64, len(s.ag)),
+		statuses:   make([]agentStatus, len(s.ag)),
+		snap:       c.primary.Snapshot(),
+	}
+	for id, st := range s.ag {
+		cp.absorbed[id] = st.absorbed
+		cp.statuses[id] = st.status
+	}
+	return writeCheckpointFile(c.cc.CheckpointPath, cp)
+}
+
+// handleEvent applies one event to the session. Only accept and
+// hold-timeout handling can end the session; connection-scoped failures
+// retire the connection and reclassify the agent instead.
+func (c *Collector) handleEvent(s *session, ev event, ctx context.Context) error {
+	switch ev.kind {
+	case evHello:
+		c.handleHello(s, ev)
+	case evFrame:
+		st := s.ag[ev.id]
+		if ev.gen != st.gen {
+			return nil // stale connection; its frames replay on the new one
+		}
+		if ev.boundary <= s.lastClosed || ev.boundary <= st.tail() {
+			// Already held or already closed: drop and re-ack so the
+			// agent trims its replay buffer.
+			if ev.boundary > st.absorbed && ev.boundary <= s.lastClosed {
+				c.met.Agent(ev.id).IncLateDrops()
+			} else {
+				c.met.Agent(ev.id).IncDupDrops()
+			}
+			st.refund()
+			if st.ackCh != nil && s.lastClosed > 0 {
+				pushLatest(st.ackCh, s.lastClosed)
+				c.met.Agent(ev.id).SetLastAcked(s.lastClosed)
+			}
+			return nil
+		}
+		st.queue = append(st.queue, queuedFrame{boundary: ev.boundary, snap: ev.snap})
+		c.met.Agent(ev.id).SetQueueDepth(int64(len(st.queue)))
+	case evBye:
+		st := s.ag[ev.id]
+		if ev.gen != st.gen {
+			return nil
+		}
+		if st.conn != nil && st.ackCh != nil && s.forget != nil {
+			s.forget(st.conn) // the ack writer closes it after the ByeOK
+		}
+		st.finishConn()
+		st.status = statusBye
+		c.met.Agent(ev.id).SetStatus(metrics.StatusBye)
+	case evConnErr:
+		st := s.ag[ev.id]
+		if ev.gen != st.gen {
+			return nil
+		}
+		st.retireConn()
+		if st.v2 || c.cc.Policy == CloseWithout {
+			st.status = statusDead
+		} else {
+			st.status = statusDown
+		}
+		c.met.Agent(ev.id).SetStatus(st.status.metricsName())
+	case evAcceptErr:
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("wire: accepting agent connection: %w", ev.err)
+	case evHoldTimeout:
+		if s.holdFor != ev.boundary {
+			return nil // stale timer; the boundary already closed or moved
+		}
+		s.stopHold()
+		for id, st := range s.ag {
+			if st.blocks(c.cc.Policy) && st.status != statusLive {
+				st.status = statusDead
+				c.met.Agent(id).SetStatus(metrics.StatusDead)
+			}
+		}
+	}
+	return nil
+}
+
+// handleHello validates a handshake and, on success, attaches the
+// connection as the agent's current one — newest wins: a replacement
+// connection supersedes and closes the previous, since the legitimate
+// owner of an agent ID is whoever can still dial (a half-open TCP
+// remnant must not lock a restarted agent out).
+func (c *Collector) handleHello(s *session, ev event) {
+	h := ev.hello
+	if h.agentID < 0 || h.agentID >= len(s.ag) {
+		ev.reply <- helloReply{
+			err:  fmt.Errorf("agent ID %d out of range [0,%d)", h.agentID, len(s.ag)),
+			code: errCodeBadAgentID,
+		}
+		return
+	}
+	if h.digest != c.digest {
+		ev.reply <- helloReply{
+			err:  fmt.Errorf(configMismatchFormat, h.digest, c.digest),
+			code: errCodeConfigMismatch,
+		}
+		return
+	}
+	st := s.ag[h.agentID]
+	if st.status == statusBye {
+		ev.reply <- helloReply{
+			err:  fmt.Errorf("agent %d already ended its stream", h.agentID),
+			code: errCodeSessionEnded,
+		}
+		return
+	}
+	if st.status != statusPending {
+		c.met.Agent(h.agentID).IncReconnects()
+	}
+	st.retireConn()
+	st.conn = ev.conn
+	st.v2 = h.version < 3
+	st.status = statusLive
+	st.credits = make(chan struct{}, c.cc.queueCap)
+	for i := 0; i < c.cc.queueCap; i++ {
+		st.credits <- struct{}{}
+	}
+	resume := st.tail()
+	if !st.v2 {
+		st.ackCh = make(chan int64, 1)
+		s.writers.Add(1)
+		ch := st.ackCh
+		go func() {
+			defer s.writers.Done()
+			ackWriter(ev.conn, ch, resume, s.done)
+		}()
+		c.met.Agent(h.agentID).SetLastAcked(resume)
+	}
+	c.met.Agent(h.agentID).SetStatus(metrics.StatusLive)
+	ev.reply <- helloReply{gen: st.gen, credits: st.credits}
 }

@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -112,14 +113,14 @@ func TestDistributedCollector(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		coll, err := wire.NewCollector(cfg, agents)
+		coll, err := wire.NewCollector(cfg, wire.CollectorConfig{Agents: agents})
 		if err != nil {
 			t.Fatal(err)
 		}
 		var got []string
 		serveErr := make(chan error, 1)
 		go func() {
-			serveErr <- coll.Serve(ln, func(rep *core.Report) error {
+			serveErr <- coll.Serve(context.Background(), ln, func(rep *core.Report) error {
 				got = append(got, renderReport(rep))
 				return nil
 			})
@@ -211,7 +212,7 @@ func TestDistributedLateAndEarlyAgents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coll, err := wire.NewCollector(cfg, 2)
+	coll, err := wire.NewCollector(cfg, wire.CollectorConfig{Agents: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestDistributedLateAndEarlyAgents(t *testing.T) {
 	var got []string
 	serveErr := make(chan error, 1)
 	go func() {
-		serveErr <- coll.Serve(ln, func(rep *core.Report) error {
+		serveErr <- coll.Serve(context.Background(), ln, func(rep *core.Report) error {
 			got = append(got, renderReport(rep))
 			return nil
 		})

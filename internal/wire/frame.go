@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -30,13 +31,56 @@ const (
 	// This is what agents ship each interval; frameSnapshot remains for
 	// full-state checkpoints.
 	frameOpenInterval = 4
+	// frameAck flows collector→agent: a varint boundary b meaning every
+	// interval frame with boundary <= b has been absorbed (and, when
+	// checkpointing is on, made durable). The agent drops those frames
+	// from its replay buffer; acks are cumulative, so a lost ack is
+	// repaired by any later one.
+	frameAck = 5
+	// frameHelloOK flows collector→agent in reply to a v3 Hello: a
+	// varint boundary the agent must resume *after* (the collector's
+	// dedup line for this agent). The agent trims its replay buffer to
+	// frames beyond it before resending.
+	frameHelloOK = 6
+	// frameError flows collector→agent when a handshake or stream is
+	// rejected: a uvarint errorCode* and a human-readable message, so an
+	// operator sees "config mismatch" instead of a dropped connection.
+	frameError = 7
+	// frameByeOK flows collector→agent confirming a Bye was applied, so
+	// the agent's Close can distinguish "stream ended cleanly" from "the
+	// connection died and the Bye may be lost" — in the latter case it
+	// redials and resends the Bye, keeping the collector from holding a
+	// finished session open for an agent that will never return.
+	frameByeOK = 8
 )
 
+// Error codes carried by frameError.
+const (
+	errCodeOther = iota
+	errCodeConfigMismatch
+	errCodeBadAgentID
+	errCodeBadVersion
+	errCodeSessionEnded
+)
+
+// errSessionEnded is the decoded form of an errCodeSessionEnded
+// rejection: the collector already applied this agent's Bye. An agent
+// redialing to resend a Bye whose ByeOK was lost treats it as the
+// confirmation it was waiting for.
+var errSessionEnded = errors.New("wire: collector already ended this agent's stream")
+
 // protoVersion is the framing/handshake version; bump together with any
-// protocol-shape change. Collectors reject other versions. Version 2
-// added the open-interval frame agents now emit, so a v1 collector
-// refuses the handshake instead of choking mid-stream.
-const protoVersion = 2
+// protocol-shape change. Version 2 added the open-interval frame agents
+// now emit. Version 3 made the stream survivable and bidirectional:
+// Hello carries a resume boundary, and the collector answers with
+// HelloOK, per-boundary Acks, and Error frames. Collectors accept
+// minProtoVersion..protoVersion, so v2 agents still work (one-way,
+// crash-stop: a v2 connection that drops cannot replay, and the
+// collector marks its agent dead instead of aborting the session).
+const (
+	protoVersion    = 3
+	minProtoVersion = 2
+)
 
 // helloMagic starts every Hello payload, so a collector fed a stray
 // connection fails with a clear error instead of a codec one.
@@ -114,19 +158,40 @@ func ConfigDigest(cfg core.Config) uint64 {
 
 // hello is the decoded handshake.
 type hello struct {
+	version int
 	agentID int
-	digest  uint64
+	// resume is the last boundary the agent knows to be acked (v3 only;
+	// 0 for none, and always 0 on a v2 hello). Frames the agent resends
+	// after a reconnect start beyond it.
+	resume int64
+	digest uint64
 }
 
-// appendHello encodes the handshake payload.
-func appendHello(b []byte, agentID int, digest uint64) []byte {
+// appendHello encodes the handshake payload for the given protocol
+// version: magic, version, agent ID, the v3 resume boundary, and the
+// config digest as the trailing 8 bytes.
+func appendHello(b []byte, version int, agentID int, resume int64, digest uint64) []byte {
 	b = append(b, helloMagic[:]...)
-	b = appendUvarint(b, protoVersion)
+	b = appendUvarint(b, uint64(version))
 	b = appendUvarint(b, uint64(agentID))
+	if version >= 3 {
+		b = appendVarint(b, resume)
+	}
 	return binary.LittleEndian.AppendUint64(b, digest)
 }
 
-// decodeHello parses a Hello payload.
+// errBadHelloVersion marks an out-of-range protocol version so the
+// collector can answer with a versioned frameError instead of silently
+// dropping the connection.
+type errBadHelloVersion int
+
+// Error satisfies error with the version range the collector speaks.
+func (v errBadHelloVersion) Error() string {
+	return fmt.Sprintf("wire: unsupported protocol version %d (want %d..%d)",
+		int(v), minProtoVersion, protoVersion)
+}
+
+// decodeHello parses a v2 or v3 Hello payload.
 func decodeHello(payload []byte) (hello, error) {
 	r := &reader{buf: payload}
 	var magic [4]byte
@@ -136,12 +201,16 @@ func decodeHello(payload []byte) (hello, error) {
 	if r.err() == nil && magic != helloMagic {
 		return hello{}, fmt.Errorf("wire: bad hello magic %q", magic[:])
 	}
-	if v := r.uvarint(); r.err() == nil && v != protoVersion {
-		return hello{}, fmt.Errorf("wire: unsupported protocol version %d (want %d)", v, protoVersion)
+	v := r.uvarint()
+	if r.err() == nil && (v < minProtoVersion || v > protoVersion) {
+		return hello{}, errBadHelloVersion(v)
 	}
-	h := hello{agentID: int(r.uvarint())}
-	if r.rem() < 8 {
-		r.fail("truncated hello digest")
+	h := hello{version: int(v), agentID: int(r.uvarint())}
+	if h.version >= 3 {
+		h.resume = r.varint()
+	}
+	if r.rem() != 8 {
+		r.fail("hello digest is not the trailing 8 bytes")
 	}
 	if r.err() != nil {
 		return hello{}, r.err()
@@ -150,4 +219,66 @@ func decodeHello(payload []byte) (hello, error) {
 	r.off += 8
 	r.expectEOF()
 	return h, r.err()
+}
+
+// appendBoundary encodes the payload of an Ack or HelloOK frame: the
+// boundary alone.
+func appendBoundary(b []byte, boundary int64) []byte {
+	return appendVarint(b, boundary)
+}
+
+// decodeBoundary parses an Ack or HelloOK payload.
+func decodeBoundary(payload []byte) (int64, error) {
+	r := &reader{buf: payload}
+	b := r.varint()
+	r.expectEOF()
+	return b, r.err()
+}
+
+// appendError encodes a frameError payload: code, then the message
+// bytes to the end of the frame.
+func appendError(b []byte, code uint64, msg string) []byte {
+	b = appendUvarint(b, code)
+	return append(b, msg...)
+}
+
+// decodeError parses a frameError payload into the error the agent
+// surfaces: a ConfigMismatchError for errCodeConfigMismatch, a plain
+// error otherwise.
+func decodeError(payload []byte) error {
+	r := &reader{buf: payload}
+	code := r.uvarint()
+	if r.err() != nil {
+		return fmt.Errorf("wire: malformed error frame: %w", r.err())
+	}
+	msg := string(payload[r.off:])
+	switch code {
+	case errCodeConfigMismatch:
+		var e ConfigMismatchError
+		if _, err := fmt.Sscanf(msg, configMismatchFormat, &e.Agent, &e.Collector); err == nil {
+			return &e
+		}
+	case errCodeSessionEnded:
+		return errSessionEnded
+	}
+	return fmt.Errorf("wire: collector rejected the connection: %s", msg)
+}
+
+// configMismatchFormat is the message layout of a digest-mismatch
+// rejection; both ends use it so the agent can reconstruct the digests.
+const configMismatchFormat = "config mismatch: agent=%x collector=%x"
+
+// ConfigMismatchError reports a handshake rejected because the agent's
+// detection-config digest differs from the collector's — the two would
+// merge incompatible histogram spaces. It carries both digests so an
+// operator can diff the configurations; cmd/anomalyx maps it to a
+// distinct exit code.
+type ConfigMismatchError struct {
+	// Agent and Collector are the two ConfigDigest values that differed.
+	Agent, Collector uint64
+}
+
+// Error renders the mismatch with both digests.
+func (e *ConfigMismatchError) Error() string {
+	return "wire: " + fmt.Sprintf(configMismatchFormat, e.Agent, e.Collector)
 }

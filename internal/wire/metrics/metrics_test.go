@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestSessionJSONShape pins the exported JSON: field names are an
+// operational interface (dashboards scrape them), so a rename must be
+// deliberate.
+func TestSessionJSONShape(t *testing.T) {
+	s := NewSession(2)
+	s.SetLastClosed(1800000)
+	s.IncEmitted()
+	s.IncEmitted()
+
+	a0 := s.Agent(0)
+	a0.SetStatus(StatusLive)
+	a0.SetLastAcked(1800000)
+	a0.SetLag(0)
+	a0.SetQueueDepth(3)
+	a0.IncReconnects()
+	a0.IncReconnects()
+	a0.IncLateDrops()
+	a0.IncDupDrops()
+
+	if got := s.Emitted(); got != 2 {
+		t.Fatalf("Emitted() = %d, want 2", got)
+	}
+
+	var v struct {
+		LastClosed int64 `json:"last_closed_boundary"`
+		Emitted    int64 `json:"reports_emitted"`
+		Agents     []struct {
+			Status     string `json:"status"`
+			LastAcked  int64  `json:"last_acked_boundary"`
+			Lag        int64  `json:"lag_intervals"`
+			QueueDepth int64  `json:"queue_depth"`
+			Reconnects int64  `json:"reconnects"`
+			LateDrops  int64  `json:"late_drops"`
+			DupDrops   int64  `json:"dup_drops"`
+		} `json:"agents"`
+	}
+	if err := json.Unmarshal([]byte(s.String()), &v); err != nil {
+		t.Fatalf("session JSON does not parse: %v\n%s", err, s.String())
+	}
+	if v.LastClosed != 1800000 || v.Emitted != 2 || len(v.Agents) != 2 {
+		t.Fatalf("session view = %+v", v)
+	}
+	got := v.Agents[0]
+	if got.Status != StatusLive || got.LastAcked != 1800000 || got.Lag != 0 ||
+		got.QueueDepth != 3 || got.Reconnects != 2 || got.LateDrops != 1 || got.DupDrops != 1 {
+		t.Fatalf("agent 0 view = %+v", got)
+	}
+	// An untouched agent reads as pending with zero counters.
+	if want := v.Agents[0]; reflect.DeepEqual(v.Agents[1], want) {
+		t.Fatalf("agent views unexpectedly equal: %+v", want)
+	}
+	if v.Agents[1].Status != StatusPending {
+		t.Fatalf("untouched agent status = %q, want %q", v.Agents[1].Status, StatusPending)
+	}
+}
+
+// TestNilSafety pins the no-branching contract: every method no-ops on
+// a nil Session or nil AgentMetrics, and out-of-range Agent lookups
+// return nil rather than panicking.
+func TestNilSafety(t *testing.T) {
+	var s *Session
+	s.SetLastClosed(1)
+	s.IncEmitted()
+	if got := s.Emitted(); got != 0 {
+		t.Fatalf("nil session Emitted() = %d", got)
+	}
+	if got := s.String(); got != "null" {
+		t.Fatalf("nil session String() = %q, want null", got)
+	}
+
+	real := NewSession(1)
+	for _, a := range []*AgentMetrics{s.Agent(0), real.Agent(-1), real.Agent(1)} {
+		if a != nil {
+			t.Fatalf("out-of-range Agent lookup returned %v, want nil", a)
+		}
+		a.SetLastAcked(1)
+		a.SetLag(1)
+		a.SetQueueDepth(1)
+		a.IncReconnects()
+		a.IncLateDrops()
+		a.IncDupDrops()
+		a.SetStatus(StatusDead)
+	}
+
+	if NewSession(-1).String() == "" {
+		t.Fatal("negative-size session did not render")
+	}
+}
+
+// TestHandler pins the /debug/vars-compatible HTTP shape.
+func TestHandler(t *testing.T) {
+	s := NewSession(1)
+	s.Agent(0).SetStatus(StatusBye)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var v struct {
+		Collector struct {
+			Agents []struct {
+				Status string `json:"status"`
+			} `json:"agents"`
+		} `json:"collector"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("handler body does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if len(v.Collector.Agents) != 1 || v.Collector.Agents[0].Status != StatusBye {
+		t.Fatalf("handler view = %+v", v)
+	}
+}

@@ -2,7 +2,11 @@ package wire_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
 	"fmt"
+	"io"
+	"net"
 	"reflect"
 	"strings"
 	"testing"
@@ -52,9 +56,9 @@ func testPipelineConfig() core.Config {
 // forensic slice is excluded, as in the shard determinism tests).
 func renderReport(rep *core.Report) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "interval=%d alarm=%v total=%d suspicious=%d minsup=%d R=%v\n",
+	fmt.Fprintf(&b, "interval=%d alarm=%v total=%d suspicious=%d minsup=%d R=%v partial=%v\n",
 		rep.Interval, rep.Alarm, rep.TotalFlows, rep.SuspiciousFlows,
-		rep.MinSupport, rep.CostReduction)
+		rep.MinSupport, rep.CostReduction, rep.Partial)
 	fmt.Fprintf(&b, "detection=%+v\n", rep.Detection)
 	if rep.Mining != nil {
 		fmt.Fprintf(&b, "mining=%+v\n", *rep.Mining)
@@ -318,5 +322,319 @@ func TestConfigDigest(t *testing.T) {
 		if wire.ConfigDigest(v) == wire.ConfigDigest(base) {
 			t.Errorf("variant %d digests equal to base", i)
 		}
+	}
+}
+
+// --- raw-stream helpers for the error-path tests ---
+//
+// These speak the wire protocol byte-for-byte, independent of the
+// Agent implementation, so malformed streams can be crafted exactly.
+
+// Protocol constants mirrored from the wire package (which keeps them
+// unexported); the error-path tests pin them as wire-format facts.
+const (
+	rawFrameHello   = 1
+	rawFrameBye     = 3
+	rawFrameHelloOK = 6
+	rawFrameError   = 7
+	rawFrameByeOK   = 8
+)
+
+// writeRawFrame writes one length-prefixed frame: uint32 big-endian
+// payload length including the type byte, the type byte, the payload.
+func writeRawFrame(t *testing.T, w io.Writer, typ byte, payload []byte) {
+	t.Helper()
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(append(hdr, payload...)); err != nil {
+		t.Fatalf("writing raw frame: %v", err)
+	}
+}
+
+// readRawFrame reads one frame off a raw connection.
+func readRawFrame(conn io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > 1<<30 {
+		return 0, nil, fmt.Errorf("frame length %d out of range", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// rawHello builds a Hello payload: magic, uvarint version and agent ID,
+// the v3 zigzag-varint resume offset, and the trailing 8-byte digest.
+func rawHello(magic string, version, agentID uint64, resume int64, digest uint64) []byte {
+	p := []byte(magic)
+	p = binary.AppendUvarint(p, version)
+	p = binary.AppendUvarint(p, agentID)
+	if version >= 3 {
+		p = binary.AppendVarint(p, resume)
+	}
+	return binary.LittleEndian.AppendUint64(p, digest)
+}
+
+// errorPathCollector serves a 1-agent collector session for one
+// error-path case and returns the listener plus channels carrying the
+// emitted report count and Serve's error.
+func errorPathCollector(t *testing.T, cfg core.Config) (net.Listener, *wire.Collector, <-chan int, <-chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := wire.NewCollector(cfg, wire.CollectorConfig{Agents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := make(chan int, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		n := 0
+		serveErr <- coll.Serve(context.Background(), ln, func(*core.Report) error {
+			n++
+			emitted <- n
+			return nil
+		})
+	}()
+	return ln, coll, emitted, serveErr
+}
+
+// TestCollectorRejectsMalformedStreams drives the collector's framing
+// and handshake error paths over real connections: each malformed
+// stream must be rejected — with a typed frameError reply where the
+// protocol defines one, a silent close otherwise — WITHOUT killing the
+// session, which a well-behaved agent then finishes normally.
+func TestCollectorRejectsMalformedStreams(t *testing.T) {
+	cfg := testPipelineConfig()
+	digest := wire.ConfigDigest(cfg)
+
+	cases := []struct {
+		name string
+		// send writes the malformed bytes; it returns true when a
+		// frameError reply is expected (vs a silent connection close).
+		send     func(t *testing.T, conn net.Conn)
+		wantCode uint64
+		wantMsg  string
+		silent   bool
+	}{
+		{
+			name: "hello protocol version too old",
+			send: func(t *testing.T, conn net.Conn) {
+				writeRawFrame(t, conn, rawFrameHello, rawHello("AXWP", 1, 0, 0, digest))
+			},
+			wantCode: 3, // errCodeBadVersion
+			wantMsg:  "unsupported protocol version 1",
+		},
+		{
+			name: "hello protocol version too new",
+			send: func(t *testing.T, conn net.Conn) {
+				writeRawFrame(t, conn, rawFrameHello, rawHello("AXWP", 99, 0, 0, digest))
+			},
+			wantCode: 3,
+			wantMsg:  "unsupported protocol version 99",
+		},
+		{
+			name: "hello bad magic",
+			send: func(t *testing.T, conn net.Conn) {
+				writeRawFrame(t, conn, rawFrameHello, rawHello("NOPE", 3, 0, 0, digest))
+			},
+			wantCode: 0, // errCodeOther
+			wantMsg:  "bad hello magic",
+		},
+		{
+			name: "hello config digest mismatch",
+			send: func(t *testing.T, conn net.Conn) {
+				writeRawFrame(t, conn, rawFrameHello, rawHello("AXWP", 3, 0, 0, digest+1))
+			},
+			wantCode: 1, // errCodeConfigMismatch
+			wantMsg:  "config mismatch: agent=",
+		},
+		{
+			name: "hello agent ID out of range",
+			send: func(t *testing.T, conn net.Conn) {
+				writeRawFrame(t, conn, rawFrameHello, rawHello("AXWP", 3, 5, 0, digest))
+			},
+			wantCode: 2, // errCodeBadAgentID
+			wantMsg:  "out of range",
+		},
+		{
+			name: "truncated frame",
+			send: func(t *testing.T, conn net.Conn) {
+				// A header promising 64 payload bytes, then only 3 and EOF.
+				hdr := []byte{0, 0, 0, 64, rawFrameHello, 'A', 'X', 'W'}
+				if _, err := conn.Write(hdr); err != nil {
+					t.Fatal(err)
+				}
+				conn.(*net.TCPConn).CloseWrite()
+			},
+			silent: true,
+		},
+		{
+			name: "oversized frame",
+			send: func(t *testing.T, conn net.Conn) {
+				// Length 1 GiB + 1: over maxFrameLen, rejected at the header.
+				if _, err := conn.Write([]byte{0x40, 0, 0, 1, rawFrameHello}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			silent: true,
+		},
+		{
+			name: "zero-length frame",
+			send: func(t *testing.T, conn net.Conn) {
+				if _, err := conn.Write([]byte{0, 0, 0, 0, 0}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			silent: true,
+		},
+		{
+			name: "first frame not hello",
+			send: func(t *testing.T, conn net.Conn) {
+				writeRawFrame(t, conn, rawFrameBye, nil)
+			},
+			silent: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, coll, emitted, serveErr := errorPathCollector(t, cfg)
+			defer coll.Close()
+
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.send(t, conn)
+			if tc.silent {
+				// The collector must close the connection without a reply.
+				if typ, _, err := readRawFrame(conn); err == nil {
+					t.Fatalf("expected silent close, got frame type %d", typ)
+				}
+			} else {
+				typ, payload, err := readRawFrame(conn)
+				if err != nil {
+					t.Fatalf("reading rejection reply: %v", err)
+				}
+				if typ != rawFrameError {
+					t.Fatalf("reply frame type = %d, want %d (error)", typ, rawFrameError)
+				}
+				code, n := binary.Uvarint(payload)
+				if n <= 0 {
+					t.Fatalf("malformed error payload % x", payload)
+				}
+				if code != tc.wantCode {
+					t.Errorf("error code = %d, want %d", code, tc.wantCode)
+				}
+				if msg := string(payload[n:]); !strings.Contains(msg, tc.wantMsg) {
+					t.Errorf("error message %q does not contain %q", msg, tc.wantMsg)
+				}
+			}
+			conn.Close()
+
+			// The rejection must not have hurt the session: a well-behaved
+			// agent connects, ends cleanly, and the session closes with the
+			// empty-stream parity report.
+			agent, err := wire.Dial(ln.Addr().String(), 0, cfg)
+			if err != nil {
+				t.Fatalf("well-behaved agent after rejection: %v", err)
+			}
+			if err := agent.Close(); err != nil {
+				t.Fatalf("well-behaved agent close: %v", err)
+			}
+			if err := <-serveErr; err != nil {
+				t.Fatalf("collector: %v", err)
+			}
+			if n := <-emitted; n != 1 {
+				t.Fatalf("session emitted %d reports, want 1 parity report", n)
+			}
+		})
+	}
+}
+
+// TestDuplicateAgentIDNewestWins pins the replacement-connection
+// semantics: a second Hello for an already-connected agent ID takes
+// over the stream (the legitimate owner of an ID is whoever can still
+// dial), and the collector closes the superseded connection.
+func TestDuplicateAgentIDNewestWins(t *testing.T) {
+	cfg := testPipelineConfig()
+	digest := wire.ConfigDigest(cfg)
+	ln, coll, emitted, serveErr := errorPathCollector(t, cfg)
+	defer coll.Close()
+
+	connA, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRawFrame(t, connA, rawFrameHello, rawHello("AXWP", 3, 0, 0, digest))
+	if typ, _, err := readRawFrame(connA); err != nil || typ != rawFrameHelloOK {
+		t.Fatalf("first hello reply: type %d, err %v; want HelloOK", typ, err)
+	}
+
+	connB, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRawFrame(t, connB, rawFrameHello, rawHello("AXWP", 3, 0, 0, digest))
+	if typ, _, err := readRawFrame(connB); err != nil || typ != rawFrameHelloOK {
+		t.Fatalf("second hello reply: type %d, err %v; want HelloOK", typ, err)
+	}
+
+	// The first connection is superseded: the collector closes it, so
+	// the next read fails instead of delivering a frame.
+	if typ, _, err := readRawFrame(connA); err == nil {
+		t.Fatalf("superseded connection still delivered frame type %d", typ)
+	}
+	connA.Close()
+
+	// The replacement connection owns the stream: its Bye ends the
+	// session and is confirmed with ByeOK.
+	writeRawFrame(t, connB, rawFrameBye, nil)
+	if typ, _, err := readRawFrame(connB); err != nil || typ != rawFrameByeOK {
+		t.Fatalf("bye reply: type %d, err %v; want ByeOK", typ, err)
+	}
+	connB.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	if n := <-emitted; n != 1 {
+		t.Fatalf("session emitted %d reports, want 1 parity report", n)
+	}
+}
+
+// TestV2AgentStillAccepted pins backward compatibility: a protocol-v2
+// Hello (no resume offset, no reply expected) is accepted, and the v2
+// stream's Bye ends the session without any collector→agent traffic.
+func TestV2AgentStillAccepted(t *testing.T) {
+	cfg := testPipelineConfig()
+	ln, coll, emitted, serveErr := errorPathCollector(t, cfg)
+	defer coll.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRawFrame(t, conn, rawFrameHello, rawHello("AXWP", 2, 0, 0, wire.ConfigDigest(cfg)))
+	writeRawFrame(t, conn, rawFrameBye, nil)
+	// v2 is one-way: the collector applies the Bye and closes the
+	// connection without writing anything.
+	if typ, _, err := readRawFrame(conn); err == nil {
+		t.Fatalf("v2 connection received unexpected frame type %d", typ)
+	}
+	conn.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	if n := <-emitted; n != 1 {
+		t.Fatalf("session emitted %d reports, want 1 parity report", n)
 	}
 }

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/shard"
+	"anomalyx/internal/tracegen"
+)
+
+// diffTrace is the differential harness's workload: seeded tracegen
+// traffic with an injected dstPort flood in interval floodAt, so the
+// extraction stage actually runs on some intervals.
+func diffTrace(intervals, baseFlows, floodAt int) [][]flow.Record {
+	cfg := tracegen.SmallConfig()
+	cfg.Intervals = intervals
+	cfg.BaseFlows = baseFlows
+	cfg.Events = tracegen.Schedule(cfg.Intervals, cfg.BaseFlows)
+	gen := tracegen.New(cfg)
+	out := make([][]flow.Record, intervals)
+	for i := range out {
+		recs := gen.Interval(i)
+		if i == floodAt {
+			for j := range recs {
+				if j%3 == 0 {
+					recs[j].DstAddr, recs[j].DstPort = 42, 31337
+					recs[j].Packets, recs[j].Bytes = 1, 40
+				}
+			}
+		}
+		out[i] = recs
+	}
+	return out
+}
+
+// TestPipelineMatchesAoSReference is the differential harness for the
+// columnar buffer: across the full (shards, workers) grid, every
+// alarming interval's extraction — run online over the pipeline's SoA
+// flow.Buffer through the columnar prefilter scan — must agree exactly
+// with core.ExtractOffline, the retained row-form (AoS) path that
+// filters a plain []flow.Record sequentially, given the same records
+// and the interval's voted meta-data. For the unsharded runs the
+// KeepSuspicious forensic slice must match record for record, order
+// included (sharding regroups that one slice by shard; counts and
+// item-sets still pin it).
+func TestPipelineMatchesAoSReference(t *testing.T) {
+	trace := diffTrace(10, 3000, 8)
+	pcfg := core.Config{
+		Detector:       detector.Config{Bins: 256, TrainIntervals: 4, Seed: 3},
+		KeepSuspicious: true,
+	}
+	refCfg := pcfg
+	refCfg.Workers = 1 // the AoS reference stays sequential
+
+	alarmsChecked := 0
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			cfg := pcfg
+			cfg.Workers = workers
+			sp, err := shard.New(shard.Config{Shards: shards, Pipeline: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, recs := range trace {
+				rep, err := sp.ProcessInterval(recs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Alarm {
+					continue
+				}
+				alarmsChecked++
+				ref, err := core.ExtractOffline(refCfg, recs, rep.Detection.Meta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.SuspiciousFlows != ref.SuspiciousFlows {
+					t.Fatalf("shards=%d workers=%d interval %d: SoA selected %d suspicious flows, AoS reference %d",
+						shards, workers, i, rep.SuspiciousFlows, ref.SuspiciousFlows)
+				}
+				if rep.MinSupport != ref.MinSupport || rep.CostReduction != ref.CostReduction {
+					t.Fatalf("shards=%d workers=%d interval %d: minsup/cost (%d, %v) vs AoS (%d, %v)",
+						shards, workers, i, rep.MinSupport, rep.CostReduction, ref.MinSupport, ref.CostReduction)
+				}
+				if !reflect.DeepEqual(rep.ItemSets, ref.ItemSets) {
+					t.Fatalf("shards=%d workers=%d interval %d: item-sets diverged\ngot:  %+v\nwant: %+v",
+						shards, workers, i, rep.ItemSets, ref.ItemSets)
+				}
+				if !reflect.DeepEqual(rep.Mining, ref.Mining) {
+					t.Fatalf("shards=%d workers=%d interval %d: mining result diverged", shards, workers, i)
+				}
+				if shards == 1 && !reflect.DeepEqual(rep.Suspicious, ref.Suspicious) {
+					t.Fatalf("workers=%d interval %d: suspicious slice diverged from the AoS reference (%d vs %d records)",
+						workers, i, len(rep.Suspicious), len(ref.Suspicious))
+				}
+			}
+			sp.Close()
+		}
+	}
+	if alarmsChecked == 0 {
+		t.Fatal("no interval alarmed; the differential never compared extraction")
+	}
+}

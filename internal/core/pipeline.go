@@ -119,8 +119,11 @@ type Pipeline struct {
 	cfg  Config
 	bank *detector.Bank
 
-	mu     sync.Mutex
-	buffer []flow.Record
+	mu sync.Mutex
+	// buffer holds the open interval's flows in columnar (SoA) form; see
+	// flow.Buffer. Rows append in observation order, and every consumer —
+	// prefilter scan, snapshot, wire encode — walks it column-wise.
+	buffer flow.Buffer
 }
 
 // New builds a pipeline from cfg.
@@ -150,7 +153,7 @@ func (p *Pipeline) Config() Config { return p.cfg }
 func (p *Pipeline) Observe(rec flow.Record) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.buffer = append(p.buffer, rec)
+	p.buffer.Append(rec)
 	p.bank.Observe(&rec)
 }
 
@@ -164,7 +167,7 @@ func (p *Pipeline) ObserveBatch(recs []flow.Record) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.buffer = append(p.buffer, recs...)
+	p.buffer.AppendRecords(recs)
 	p.bank.ObserveBatch(recs)
 }
 
@@ -178,14 +181,14 @@ func (p *Pipeline) EndInterval() (*Report, error) {
 		Interval:   det.Interval,
 		Detection:  det,
 		Alarm:      det.Alarm,
-		TotalFlows: len(p.buffer),
+		TotalFlows: p.buffer.Len(),
 	}
 	if det.Alarm && det.Meta.Count() > 0 {
 		if err := p.extract(rep, det.Meta); err != nil {
 			return nil, err
 		}
 	}
-	p.buffer = p.buffer[:0]
+	p.buffer.Reset()
 	return rep, nil
 }
 
@@ -213,8 +216,8 @@ func (p *Pipeline) Absorb(other *Pipeline) error {
 	if err := p.bank.Absorb(other.bank); err != nil {
 		return err
 	}
-	p.buffer = append(p.buffer, other.buffer...)
-	other.buffer = other.buffer[:0]
+	p.buffer.AppendBuffer(&other.buffer)
+	other.buffer.Reset()
 	return nil
 }
 
@@ -234,7 +237,7 @@ func (p *Pipeline) ProcessInterval(recs []flow.Record) (*Report, error) {
 // concatenated in range order, so the report is byte-identical to a
 // sequential scan.
 func (p *Pipeline) extract(rep *Report, meta detector.MetaData) error {
-	suspicious := prefilter.FilterParallel(p.cfg.Prefilter, meta, p.buffer, p.cfg.Workers)
+	suspicious := prefilter.FilterBufferParallel(p.cfg.Prefilter, meta, &p.buffer, p.cfg.Workers)
 	return finishExtract(p.cfg, rep, suspicious)
 }
 
@@ -348,7 +351,7 @@ func EndIntervalGroup(group []*Pipeline) (*Report, error) {
 	det := primary.bank.EndInterval()
 	total := 0
 	for _, sh := range group {
-		total += len(sh.buffer)
+		total += sh.buffer.Len()
 	}
 	rep := &Report{
 		Interval:   det.Interval,
@@ -360,13 +363,13 @@ func EndIntervalGroup(group []*Pipeline) (*Report, error) {
 		parts := make([][]flow.Record, len(group))
 		var wg sync.WaitGroup
 		for i, sh := range group {
-			if len(sh.buffer) == 0 {
+			if sh.buffer.Len() == 0 {
 				continue
 			}
 			wg.Add(1)
 			go func(i int, sh *Pipeline) {
 				defer wg.Done()
-				parts[i] = prefilter.FilterParallel(sh.cfg.Prefilter, det.Meta, sh.buffer, sh.cfg.Workers)
+				parts[i] = prefilter.FilterBufferParallel(sh.cfg.Prefilter, det.Meta, &sh.buffer, sh.cfg.Workers)
 			}(i, sh)
 		}
 		wg.Wait()
@@ -387,7 +390,7 @@ func EndIntervalGroup(group []*Pipeline) (*Report, error) {
 		}
 	}
 	for _, sh := range group {
-		sh.buffer = sh.buffer[:0]
+		sh.buffer.Reset()
 	}
 	return rep, nil
 }

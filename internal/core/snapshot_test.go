@@ -52,8 +52,8 @@ func TestPipelineSnapshotRestore(t *testing.T) {
 	orig.ObserveBatch(snapRecords(6, 400, false))
 
 	s := orig.Snapshot()
-	if len(s.Buffer) != 400 {
-		t.Fatalf("snapshot buffer has %d records, want 400", len(s.Buffer))
+	if s.Buffer.Len() != 400 {
+		t.Fatalf("snapshot buffer has %d records, want 400", s.Buffer.Len())
 	}
 	restored, err := New(snapConfig())
 	if err != nil {
@@ -123,13 +123,13 @@ func TestPipelineDrainSnapshot(t *testing.T) {
 		agent.ObserveBatch(recs)
 
 		snap := agent.DrainSnapshot()
-		if len(snap.Buffer) != len(recs) {
-			t.Fatalf("interval %d: drained %d records, want %d", i, len(snap.Buffer), len(recs))
+		if snap.Buffer.Len() != len(recs) {
+			t.Fatalf("interval %d: drained %d records, want %d", i, snap.Buffer.Len(), len(recs))
 		}
 		// The drained pipeline is empty: an immediate re-drain carries
 		// nothing.
-		if rd := agent.DrainSnapshot(); len(rd.Buffer) != 0 {
-			t.Fatalf("interval %d: re-drain still holds %d records", i, len(rd.Buffer))
+		if rd := agent.DrainSnapshot(); rd.Buffer.Len() != 0 {
+			t.Fatalf("interval %d: re-drain still holds %d records", i, rd.Buffer.Len())
 		}
 		for _, ds := range snap.Bank.Detectors {
 			for _, hs := range ds.Clones {
@@ -156,6 +156,90 @@ func TestPipelineDrainSnapshot(t *testing.T) {
 			t.Fatalf("interval %d: absorb-of-drain diverged from direct run:\n got %+v\nwant %+v",
 				i, got, want)
 		}
+	}
+}
+
+// TestPipelineDrainOpenInterval: the lean agent-path drain carries the
+// open interval — clone snapshots plus buffer, no detection history —
+// and absorbing it additively reproduces a direct run exactly, interval
+// after interval (the drained pipeline starts each one empty).
+func TestPipelineDrainOpenInterval(t *testing.T) {
+	direct, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	agent, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	primary, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	for i := 0; i < 7; i++ {
+		recs := snapRecords(i, 900, i == 5)
+		direct.ObserveBatch(recs)
+		agent.ObserveBatch(recs)
+
+		oi := agent.DrainOpenInterval()
+		if oi.Buffer.Len() != len(recs) {
+			t.Fatalf("interval %d: drained %d records, want %d", i, oi.Buffer.Len(), len(recs))
+		}
+		if rd := agent.DrainOpenInterval(); rd.Buffer.Len() != 0 {
+			t.Fatalf("interval %d: re-drain still holds %d records", i, rd.Buffer.Len())
+		}
+		if len(oi.Clones) == 0 {
+			t.Fatalf("interval %d: drained no detector clones", i)
+		}
+		for _, clones := range oi.Clones {
+			for _, hs := range clones {
+				if hs.Total == 0 {
+					t.Fatalf("interval %d: drained open interval has empty clone", i)
+				}
+			}
+		}
+		if err := primary.AbsorbOpenInterval(oi); err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := primary.EndInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("interval %d: absorb-of-open-interval diverged from direct run:\n got %+v\nwant %+v",
+				i, got, want)
+		}
+	}
+}
+
+// TestAbsorbOpenIntervalRejectsShape: absorbing an open interval drained
+// from a differently configured pipeline errors instead of corrupting
+// the bank.
+func TestAbsorbOpenIntervalRejectsShape(t *testing.T) {
+	cfg := snapConfig()
+	cfg.Features = []flow.FeatureKind{flow.SrcIP, flow.DstIP}
+	narrow, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer narrow.Close()
+	narrow.ObserveBatch(snapRecords(0, 100, false))
+
+	p, err := New(snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.AbsorbOpenInterval(narrow.DrainOpenInterval()); err == nil {
+		t.Error("absorb across feature sets accepted")
 	}
 }
 

@@ -104,6 +104,39 @@ func (d *Detector) ResetInterval() {
 	}
 }
 
+// DrainInterval snapshots the open interval's clone histograms and
+// resets them, without touching — or copying — the detection history.
+// It is Snapshot restricted to the fields an interval drain actually
+// moves: the distributed agent path drains every boundary, and paying a
+// deep copy of reference counts, KL series, and threshold samples that
+// are all zero on an agent (it never closes detection) was pure waste.
+func (d *Detector) DrainInterval() []histogram.Snapshot {
+	clones := make([]histogram.Snapshot, len(d.cur))
+	for c, h := range d.cur {
+		clones[c] = h.Snapshot()
+		h.Reset()
+	}
+	return clones
+}
+
+// AbsorbClones folds drained clone-histogram snapshots into the open
+// interval additively — Absorb with the sibling's state in snapshot
+// form, so a collector can merge a shipped interval without restoring
+// it into a scratch detector first. clones must be in clone order and
+// match the detector's clone count; the usual mergeable-sketch caveat
+// applies (both sides built from the same Config and Seed).
+func (d *Detector) AbsorbClones(clones []histogram.Snapshot) error {
+	if len(clones) != len(d.cur) {
+		return fmt.Errorf("detector: absorb %d clone snapshots into detector with %d clones", len(clones), len(d.cur))
+	}
+	for c, hs := range clones {
+		if err := d.cur[c].MergeSnapshot(hs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // BankSnapshot is the exported state of a Bank: one detector snapshot
 // per monitored feature, in the bank's feature order.
 type BankSnapshot struct {
@@ -135,6 +168,38 @@ func (b *Bank) RestoreSnapshot(s BankSnapshot) error {
 	}
 	for i, d := range b.detectors {
 		if err := d.RestoreSnapshot(s.Detectors[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DrainInterval snapshots and resets every detector's open interval in
+// feature order (see Detector.DrainInterval), leaving detection history
+// untouched and uncopied — the agent-path replacement for Snapshot +
+// ResetInterval.
+func (b *Bank) DrainInterval() [][]histogram.Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([][]histogram.Snapshot, len(b.detectors))
+	for i, d := range b.detectors {
+		out[i] = d.DrainInterval()
+	}
+	return out
+}
+
+// AbsorbInterval folds drained clone snapshots — one slice per detector
+// in feature order, as DrainInterval returns them — into the open
+// interval (see Detector.AbsorbClones).
+func (b *Bank) AbsorbInterval(clones [][]histogram.Snapshot) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(clones) != len(b.detectors) {
+		return fmt.Errorf("detector: absorb %d detector intervals into bank with %d detectors",
+			len(clones), len(b.detectors))
+	}
+	for i, d := range b.detectors {
+		if err := d.AbsorbClones(clones[i]); err != nil {
 			return err
 		}
 	}

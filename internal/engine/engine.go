@@ -136,7 +136,12 @@ type Engine struct {
 	// submitMu guards the boundary grid and orders messages from
 	// concurrent producers into the input channel.
 	submitMu sync.Mutex
-	boundary int64 // end of the current interval; 0 until the first record
+	boundary int64 // end of the current interval; meaningless until seeded
+	// seeded records whether the first record has seeded the boundary
+	// grid. It is an explicit flag rather than a boundary==0 sentinel
+	// because 0 is a legitimate grid boundary: a pre-epoch stream (e.g.
+	// starting at -500 ms) has its first interval end exactly at 0.
+	seeded bool
 
 	in   chan msg
 	out  chan *core.Report
@@ -220,10 +225,18 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // BoundaryAfter returns the end of the measurement interval containing
 // timestamp ms (Unix milliseconds) on the engine's boundary grid —
-// intervals are aligned to multiples of IntervalLen from the epoch.
+// intervals are aligned to multiples of IntervalLen from the epoch, on
+// both sides of it. The modulo is floored, not truncated: Go's `%`
+// follows the dividend's sign, so `ms - ms%step + step` would round
+// pre-epoch timestamps toward zero and misalign their grid (with a 1 s
+// interval, BoundaryAfter(-500) must be 0, not 1000).
 func (e *Engine) BoundaryAfter(ms int64) int64 {
 	step := e.cfg.IntervalLen.Milliseconds()
-	return ms - ms%step + step
+	rem := ms % step
+	if rem < 0 {
+		rem += step
+	}
+	return ms - rem + step
 }
 
 // Sink exposes the extraction backend (read-only use; mutating it
@@ -249,7 +262,8 @@ const maxGapIntervals = 4096
 // enqueueing one counted cut marker covering every crossed boundary; it
 // returns the number of cuts. submitMu must be held.
 func (e *Engine) advanceLocked(ts int64) int {
-	if e.boundary == 0 {
+	if !e.seeded {
+		e.seeded = true
 		e.boundary = e.BoundaryAfter(ts)
 		return 0
 	}
@@ -308,7 +322,7 @@ func (e *Engine) SubmitBatch(recs []flow.Record) (intervalsClosed int, err error
 	closed := 0
 	start := 0
 	for i := range buf {
-		if e.boundary == 0 || buf[i].Start >= e.boundary {
+		if !e.seeded || buf[i].Start >= e.boundary {
 			// Flush the records before the crossing, then cut.
 			if i > start {
 				e.in <- msg{recs: buf[start:i]}

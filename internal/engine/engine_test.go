@@ -677,6 +677,76 @@ func TestNewWithSinkRejectsNil(t *testing.T) {
 	}
 }
 
+// TestBoundaryAfter pins the boundary grid on both sides of the epoch.
+// This is the failing-first regression for the truncating-modulo bug:
+// Go's `%` follows the dividend's sign, so the old `ms - ms%step + step`
+// rounded pre-epoch timestamps toward zero — BoundaryAfter(-500)
+// returned 1000 instead of 0, shifting the whole pre-epoch grid one
+// interval late.
+func TestBoundaryAfter(t *testing.T) {
+	eng, err := New(Config{Pipeline: testConfig(1), IntervalLen: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	go func() {
+		for range eng.Reports() {
+		}
+	}()
+	cases := []struct{ ms, want int64 }{
+		{-1500, -1000}, // pre-epoch interior
+		{-1000, 0},     // exact pre-epoch multiple belongs to the next interval
+		{-500, 0},      // the bug's probe: was 1000
+		{-1, 0},
+		{0, 1000}, // exact multiple at the epoch
+		{1, 1000},
+		{999, 1000},
+		{1000, 2000}, // exact post-epoch multiple
+		{1500, 2000},
+	}
+	for _, tc := range cases {
+		if got := eng.BoundaryAfter(tc.ms); got != tc.want {
+			t.Errorf("BoundaryAfter(%d) = %d, want %d", tc.ms, got, tc.want)
+		}
+	}
+}
+
+// TestEnginePreEpochStream runs the bug end to end: a stream starting
+// before the epoch must close intervals on the aligned grid. With the
+// truncating modulo the first record at -500 ms seeded the boundary at
+// 1000 instead of 0, so the stream below closed one interval instead of
+// two — and the misalignment doubled as a boundary==0 sentinel
+// collision, since the correct first boundary here *is* 0.
+func TestEnginePreEpochStream(t *testing.T) {
+	sink := &boundarySink{}
+	eng, err := NewWithSink(Config{IntervalLen: time.Second}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range eng.Reports() {
+		}
+	}()
+	closed, err := eng.SubmitBatch([]flow.Record{
+		{DstPort: 1, Start: -500}, // seeds the grid: first boundary 0
+		{DstPort: 2, Start: 600},  // crosses 0, lands in (0, 1000]
+		{DstPort: 3, Start: 1200}, // crosses 1000
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed != 2 {
+		t.Fatalf("pre-epoch stream closed %d intervals, want 2", closed)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1000, 2000}
+	if !reflect.DeepEqual(sink.boundaries, want) {
+		t.Fatalf("sink saw boundaries %v, want %v", sink.boundaries, want)
+	}
+}
+
 // TestNewWithSinkClockJump: past the maxGapIntervals bound the engine
 // re-seeds the grid, and the sink sees the pre-jump boundary once, then
 // boundaries on the new grid.

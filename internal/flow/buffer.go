@@ -1,0 +1,186 @@
+package flow
+
+// Buffer is the columnar (structure-of-arrays) form of a flow-record
+// batch: one slice per Record field, index-aligned, so row i of the
+// buffer is the record gathered from every column at i. The extraction
+// pipeline buffers each measurement interval's flows in this layout
+// because all of its bulk operations are column-shaped — prefilter scans
+// test one feature column at a time, the wire codec delta-packs each
+// column independently, and an interval drain hands off whole columns —
+// while the row form is only materialized for the handful of flows that
+// survive prefiltering.
+//
+// Invariant: all columns have equal length (Len). Appending through the
+// Buffer methods preserves it; code that assembles a Buffer by hand owns
+// the invariant itself.
+//
+// Determinism: a Buffer is plain data with no maps or pointers shared
+// across rows; every derived form (Records, Clone, the wire encoding)
+// is a pure function of the column contents and their order.
+type Buffer struct {
+	SrcAddr  []uint32
+	DstAddr  []uint32
+	SrcPort  []uint16
+	DstPort  []uint16
+	Protocol []uint8
+	TCPFlags []uint8
+	Packets  []uint32
+	Bytes    []uint64
+	Start    []int64
+	End      []int64
+}
+
+// Len returns the number of buffered rows.
+func (b *Buffer) Len() int { return len(b.SrcAddr) }
+
+// Append adds one record as a new row.
+func (b *Buffer) Append(rec Record) {
+	b.SrcAddr = append(b.SrcAddr, rec.SrcAddr)
+	b.DstAddr = append(b.DstAddr, rec.DstAddr)
+	b.SrcPort = append(b.SrcPort, rec.SrcPort)
+	b.DstPort = append(b.DstPort, rec.DstPort)
+	b.Protocol = append(b.Protocol, rec.Protocol)
+	b.TCPFlags = append(b.TCPFlags, rec.TCPFlags)
+	b.Packets = append(b.Packets, rec.Packets)
+	b.Bytes = append(b.Bytes, rec.Bytes)
+	b.Start = append(b.Start, rec.Start)
+	b.End = append(b.End, rec.End)
+}
+
+// AppendRecords adds a batch of records as new rows, in order.
+func (b *Buffer) AppendRecords(recs []Record) {
+	b.Grow(len(recs))
+	for i := range recs {
+		b.Append(recs[i])
+	}
+}
+
+// AppendBuffer adds every row of other to the end of b, in order.
+// other is unchanged.
+func (b *Buffer) AppendBuffer(other *Buffer) {
+	b.SrcAddr = append(b.SrcAddr, other.SrcAddr...)
+	b.DstAddr = append(b.DstAddr, other.DstAddr...)
+	b.SrcPort = append(b.SrcPort, other.SrcPort...)
+	b.DstPort = append(b.DstPort, other.DstPort...)
+	b.Protocol = append(b.Protocol, other.Protocol...)
+	b.TCPFlags = append(b.TCPFlags, other.TCPFlags...)
+	b.Packets = append(b.Packets, other.Packets...)
+	b.Bytes = append(b.Bytes, other.Bytes...)
+	b.Start = append(b.Start, other.Start...)
+	b.End = append(b.End, other.End...)
+}
+
+// Grow reserves capacity for n additional rows in every column.
+func (b *Buffer) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	need := b.Len() + n
+	if cap(b.SrcAddr) >= need {
+		return
+	}
+	grow32 := func(col []uint32) []uint32 { return append(make([]uint32, 0, need), col...) }
+	b.SrcAddr = grow32(b.SrcAddr)
+	b.DstAddr = grow32(b.DstAddr)
+	grow16 := func(col []uint16) []uint16 { return append(make([]uint16, 0, need), col...) }
+	b.SrcPort = grow16(b.SrcPort)
+	b.DstPort = grow16(b.DstPort)
+	grow8 := func(col []uint8) []uint8 { return append(make([]uint8, 0, need), col...) }
+	b.Protocol = grow8(b.Protocol)
+	b.TCPFlags = grow8(b.TCPFlags)
+	b.Packets = grow32(b.Packets)
+	b.Bytes = append(make([]uint64, 0, need), b.Bytes...)
+	grow64 := func(col []int64) []int64 { return append(make([]int64, 0, need), col...) }
+	b.Start = grow64(b.Start)
+	b.End = grow64(b.End)
+}
+
+// Reset truncates every column to zero length, retaining capacity — the
+// per-interval recycle, so a steady-state pipeline stops allocating for
+// its buffer once the columns reach the interval's working size.
+func (b *Buffer) Reset() {
+	b.SrcAddr = b.SrcAddr[:0]
+	b.DstAddr = b.DstAddr[:0]
+	b.SrcPort = b.SrcPort[:0]
+	b.DstPort = b.DstPort[:0]
+	b.Protocol = b.Protocol[:0]
+	b.TCPFlags = b.TCPFlags[:0]
+	b.Packets = b.Packets[:0]
+	b.Bytes = b.Bytes[:0]
+	b.Start = b.Start[:0]
+	b.End = b.End[:0]
+}
+
+// Record gathers row i into the row form.
+func (b *Buffer) Record(i int) Record {
+	return Record{
+		SrcAddr:  b.SrcAddr[i],
+		DstAddr:  b.DstAddr[i],
+		SrcPort:  b.SrcPort[i],
+		DstPort:  b.DstPort[i],
+		Protocol: b.Protocol[i],
+		TCPFlags: b.TCPFlags[i],
+		Packets:  b.Packets[i],
+		Bytes:    b.Bytes[i],
+		Start:    b.Start[i],
+		End:      b.End[i],
+	}
+}
+
+// Feature returns the value of feature k at row i, widened to uint64 —
+// the columnar counterpart of Record.Feature.
+func (b *Buffer) Feature(i int, k FeatureKind) uint64 {
+	switch k {
+	case SrcIP:
+		return uint64(b.SrcAddr[i])
+	case DstIP:
+		return uint64(b.DstAddr[i])
+	case SrcPort:
+		return uint64(b.SrcPort[i])
+	case DstPort:
+		return uint64(b.DstPort[i])
+	case Proto:
+		return uint64(b.Protocol[i])
+	case Packets:
+		return uint64(b.Packets[i])
+	case Bytes:
+		return b.Bytes[i]
+	default:
+		panic("flow: invalid feature kind")
+	}
+}
+
+// Records materializes the whole buffer in row form, preserving order.
+// An empty buffer returns nil, matching the append-to-nil shape the
+// sequential collection paths produce.
+func (b *Buffer) Records() []Record {
+	if b.Len() == 0 {
+		return nil
+	}
+	out := make([]Record, b.Len())
+	for i := range out {
+		out[i] = b.Record(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no memory with b. The zero-row case
+// clones to the zero-value Buffer (nil columns), so clones of equal
+// buffers are deeply equal regardless of retained capacity.
+func (b *Buffer) Clone() Buffer {
+	if b.Len() == 0 {
+		return Buffer{}
+	}
+	var out Buffer
+	out.AppendBuffer(b)
+	return out
+}
+
+// BufferOf builds a Buffer holding recs, in order — the row→column
+// transpose, used by tests and by callers bridging row-form batches into
+// columnar APIs.
+func BufferOf(recs []Record) Buffer {
+	var b Buffer
+	b.AppendRecords(recs)
+	return b
+}

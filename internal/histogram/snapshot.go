@@ -90,6 +90,47 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
+// MergeSnapshot folds a snapshot's observations into the histogram
+// additively — per-bin counts add, the total adds, and tracked values
+// accumulate into the value table. It is Merge with a Snapshot on the
+// right-hand side: when both sides were built with the same hash
+// function, merging a sibling's snapshot is identical to having added
+// every one of its observations directly (the mergeable-sketch
+// invariant), which lets a distributed collector absorb a shipped
+// interval without first restoring it into a scratch histogram. The
+// same configuration-matching caveat as RestoreSnapshot applies: bin
+// count and value-tracking mode are checked, the hash function cannot
+// be.
+func (h *Histogram) MergeSnapshot(s Snapshot) error {
+	if len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("histogram: merge snapshot with %d bins into histogram with %d", len(s.Counts), len(h.counts))
+	}
+	if (s.Values != nil) != h.track {
+		return fmt.Errorf("histogram: merge snapshot with mismatched value tracking")
+	}
+	if s.Values != nil && len(s.Values) != len(h.counts) {
+		return fmt.Errorf("histogram: merge snapshot with %d value bins into histogram with %d", len(s.Values), len(h.counts))
+	}
+	for b, n := range s.Counts {
+		h.counts[b] += n
+	}
+	h.total += s.Total
+	if !h.track {
+		return nil
+	}
+	extra := 0
+	for _, vs := range s.Values {
+		extra += len(vs)
+	}
+	h.values.ensure(extra)
+	for _, vs := range s.Values {
+		for _, vc := range vs {
+			h.values.add(vc.Value, vc.Count)
+		}
+	}
+	return nil
+}
+
 // RestoreSnapshot replaces the histogram's accumulated state with s,
 // discarding whatever the current interval held. The histogram must have
 // been constructed with the snapshot's bin count and the same

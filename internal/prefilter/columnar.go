@@ -1,0 +1,217 @@
+package prefilter
+
+import (
+	"sync"
+
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+)
+
+// This file is the columnar face of the package: the same strategies,
+// scanning a flow.Buffer column by column instead of gathering rows. A
+// strategy that implements ColumnStrategy is driven one feature column
+// at a time — the scan touches only the columns the meta-data actually
+// annotates, cache-linear over each — and rows are materialized only
+// for the matches. Strategies without a columnar form fall back to a
+// row gather per record, preserving exact Match semantics.
+//
+// Ordering guarantee: like Filter/FilterParallel, the buffer variants
+// return matches in row order, and the parallel variant concatenates
+// per-chunk output in range order — byte-identical to the sequential
+// scan for every worker count, and element-identical to the row-form
+// Filter over the same records (the differential tests pin both).
+
+// ColumnStrategy is implemented by strategies that can evaluate a
+// columnar chunk directly. MatchColumns must set matched[i-lo] to true
+// for exactly the rows i in [lo, hi) the strategy's Match would select,
+// and leave other entries false; matched arrives zeroed with length
+// hi-lo.
+type ColumnStrategy interface {
+	Strategy
+	MatchColumns(m detector.MetaData, buf *flow.Buffer, lo, hi int, matched []bool)
+}
+
+// featureColumns visits the annotated feature columns of buf[lo:hi] in
+// canonical feature order, calling mark with the annotated value set
+// and a typed column visitor. It is the shared traversal of both
+// columnar strategies.
+func markColumn(vals map[uint64]struct{}, buf *flow.Buffer, k flow.FeatureKind, lo, hi int, mark func(row int, in bool)) {
+	switch k {
+	case flow.SrcIP:
+		for i, v := range buf.SrcAddr[lo:hi] {
+			_, ok := vals[uint64(v)]
+			mark(i, ok)
+		}
+	case flow.DstIP:
+		for i, v := range buf.DstAddr[lo:hi] {
+			_, ok := vals[uint64(v)]
+			mark(i, ok)
+		}
+	case flow.SrcPort:
+		for i, v := range buf.SrcPort[lo:hi] {
+			_, ok := vals[uint64(v)]
+			mark(i, ok)
+		}
+	case flow.DstPort:
+		for i, v := range buf.DstPort[lo:hi] {
+			_, ok := vals[uint64(v)]
+			mark(i, ok)
+		}
+	case flow.Proto:
+		for i, v := range buf.Protocol[lo:hi] {
+			_, ok := vals[uint64(v)]
+			mark(i, ok)
+		}
+	case flow.Packets:
+		for i, v := range buf.Packets[lo:hi] {
+			_, ok := vals[uint64(v)]
+			mark(i, ok)
+		}
+	case flow.Bytes:
+		for i, v := range buf.Bytes[lo:hi] {
+			_, ok := vals[v]
+			mark(i, ok)
+		}
+	}
+}
+
+// MatchColumns implements ColumnStrategy: a row matches when any
+// annotated feature column holds an annotated value at it. Only the
+// annotated columns are read.
+func (Union) MatchColumns(m detector.MetaData, buf *flow.Buffer, lo, hi int, matched []bool) {
+	for _, k := range flow.AllFeatures {
+		vals := m[k]
+		if len(vals) == 0 {
+			continue
+		}
+		markColumn(vals, buf, k, lo, hi, func(row int, in bool) {
+			if in {
+				matched[row] = true
+			}
+		})
+	}
+}
+
+// MatchColumns implements ColumnStrategy: a row matches when every
+// annotated feature column holds an annotated value at it (and at
+// least one feature is annotated, mirroring MatchesFlowAll on the
+// empty annotation).
+func (Intersection) MatchColumns(m detector.MetaData, buf *flow.Buffer, lo, hi int, matched []bool) {
+	any := false
+	for _, k := range flow.AllFeatures {
+		vals := m[k]
+		if len(vals) == 0 {
+			continue
+		}
+		if !any {
+			any = true
+			markColumn(vals, buf, k, lo, hi, func(row int, in bool) {
+				matched[row] = in
+			})
+			continue
+		}
+		markColumn(vals, buf, k, lo, hi, func(row int, in bool) {
+			if !in {
+				matched[row] = false
+			}
+		})
+	}
+}
+
+// scanBuffer is the columnar counterpart of scan: it evaluates strategy
+// s over rows [lo, hi) of buf, returning the match count and, when
+// collect is set, the matching rows gathered in row order (nil
+// otherwise, and nil on no matches).
+func scanBuffer(s Strategy, m detector.MetaData, buf *flow.Buffer, lo, hi int, collect bool) ([]flow.Record, int) {
+	cs, columnar := s.(ColumnStrategy)
+	if !columnar {
+		// Row-gather fallback for strategies without a columnar form.
+		var out []flow.Record
+		n := 0
+		for i := lo; i < hi; i++ {
+			rec := buf.Record(i)
+			if s.Match(m, &rec) {
+				n++
+				if collect {
+					out = append(out, rec)
+				}
+			}
+		}
+		return out, n
+	}
+	matched := make([]bool, hi-lo)
+	cs.MatchColumns(m, buf, lo, hi, matched)
+	n := 0
+	for _, ok := range matched {
+		if ok {
+			n++
+		}
+	}
+	if !collect || n == 0 {
+		return nil, n
+	}
+	out := make([]flow.Record, 0, n)
+	for i, ok := range matched {
+		if ok {
+			out = append(out, buf.Record(lo+i))
+		}
+	}
+	return out, n
+}
+
+// FilterBuffer returns the rows of buf selected by strategy s under
+// meta-data m, in row order — Filter over the columnar buffer.
+func FilterBuffer(s Strategy, m detector.MetaData, buf *flow.Buffer) []flow.Record {
+	out, _ := scanBuffer(s, m, buf, 0, buf.Len(), true)
+	return out
+}
+
+// CountBuffer returns how many rows of buf strategy s selects, without
+// materializing them.
+func CountBuffer(s Strategy, m detector.MetaData, buf *flow.Buffer) int {
+	_, n := scanBuffer(s, m, buf, 0, buf.Len(), false)
+	return n
+}
+
+// FilterBufferParallel is FilterBuffer over the chunked worker fan-out
+// of FilterParallel: contiguous row ranges scanned concurrently,
+// per-chunk output concatenated in range order — byte-identical to the
+// sequential FilterBuffer for every worker count. workers follows the
+// Config.Workers convention (0 = GOMAXPROCS, <= 1 or small inputs run
+// sequentially).
+func FilterBufferParallel(s Strategy, m detector.MetaData, buf *flow.Buffer, workers int) []flow.Record {
+	n := buf.Len()
+	workers = resolveWorkers(workers, n)
+	if workers <= 1 || n < minParallelRecords {
+		return FilterBuffer(s, m, buf)
+	}
+	parts := make([][]flow.Record, workers)
+	counts := make([]int, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w], counts[w] = scanBuffer(s, m, buf, lo, hi, true)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]flow.Record, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}

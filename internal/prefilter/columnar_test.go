@@ -1,0 +1,93 @@
+package prefilter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"anomalyx/internal/detector"
+	"anomalyx/internal/flow"
+	"anomalyx/internal/tracegen"
+)
+
+// rowOnly wraps a strategy while hiding its ColumnStrategy face, forcing
+// scanBuffer down the row-gather fallback.
+type rowOnly struct{ s Strategy }
+
+func (r rowOnly) Name() string                                     { return r.s.Name() }
+func (r rowOnly) Match(m detector.MetaData, rec *flow.Record) bool { return r.s.Match(m, rec) }
+
+// randomMeta draws a meta-data annotation from the records themselves
+// (so some rows match) plus a few absent values (so some do not).
+func randomMeta(rng *rand.Rand, recs []flow.Record) detector.MetaData {
+	m := detector.NewMetaData()
+	for _, k := range flow.AllFeatures {
+		if rng.Intn(3) == 0 {
+			continue // leave some features unannotated
+		}
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			m.Add(k, recs[rng.Intn(len(recs))].Feature(k))
+		}
+		if rng.Intn(2) == 0 {
+			m.Add(k, uint64(1<<40)+uint64(rng.Intn(1000))) // matches nothing
+		}
+	}
+	return m
+}
+
+// TestFilterBufferMatchesFilter is the prefilter half of the AoS/SoA
+// differential harness: over seeded tracegen traffic and randomized
+// meta-data, the columnar scan of a flow.Buffer — both strategies'
+// MatchColumns fast path and the row-gather fallback — returns exactly
+// the records (values and order) the retained row-form Filter selects,
+// and FilterBufferParallel matches for every worker count.
+func TestFilterBufferMatchesFilter(t *testing.T) {
+	d := tracegen.SasserScenario(1, 2500)
+	recs := d.Flows
+	buf := flow.BufferOf(recs)
+	rng := rand.New(rand.NewSource(11))
+
+	metas := []detector.MetaData{sasserMeta(d), detector.NewMetaData()}
+	for i := 0; i < 8; i++ {
+		metas = append(metas, randomMeta(rng, recs))
+	}
+	for mi, m := range metas {
+		for _, s := range []Strategy{Union{}, Intersection{}} {
+			want := Filter(s, m, recs)
+			for _, scan := range []struct {
+				name string
+				got  []flow.Record
+			}{
+				{"columnar", FilterBuffer(s, m, &buf)},
+				{"fallback", FilterBuffer(rowOnly{s}, m, &buf)},
+			} {
+				if !reflect.DeepEqual(scan.got, want) {
+					t.Fatalf("meta %d %s %s: %d records, row-form Filter selected %d",
+						mi, s.Name(), scan.name, len(scan.got), len(want))
+				}
+			}
+			if n := CountBuffer(s, m, &buf); n != len(want) {
+				t.Fatalf("meta %d %s: CountBuffer %d, want %d", mi, s.Name(), n, len(want))
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				if got := FilterBufferParallel(s, m, &buf, workers); !reflect.DeepEqual(got, want) {
+					t.Fatalf("meta %d %s workers=%d: parallel buffer scan diverged (%d vs %d records)",
+						mi, s.Name(), workers, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestFilterBufferEmpty: the no-match and no-row cases return nil,
+// matching Filter's append-to-nil shape.
+func TestFilterBufferEmpty(t *testing.T) {
+	var empty flow.Buffer
+	if got := FilterBuffer(Union{}, detector.NewMetaData(), &empty); got != nil {
+		t.Fatalf("empty buffer filtered to %v, want nil", got)
+	}
+	buf := flow.BufferOf([]flow.Record{{SrcAddr: 1}, {SrcAddr: 2}})
+	if got := FilterBufferParallel(Union{}, detector.NewMetaData(), &buf, 4); got != nil {
+		t.Fatalf("empty meta filtered to %v, want nil", got)
+	}
+}

@@ -215,6 +215,24 @@ func (s *ShardedPipeline) DrainSnapshot() (core.PipelineSnapshot, error) {
 	return primary.DrainSnapshot(), nil
 }
 
+// DrainOpenInterval is DrainSnapshot in the lean open-interval form: the
+// sibling shards merge into the primary exactly as above, but the drain
+// carries only the merged clone histograms and concatenated flow buffer
+// (core.OpenInterval), skipping the copy of detection history that an
+// agent — which never closes detection — keeps permanently empty. This
+// is the preferred distributed agent close.
+func (s *ShardedPipeline) DrainOpenInterval() (core.OpenInterval, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	primary := s.shards[0]
+	for _, sh := range s.shards[1:] {
+		if err := primary.Absorb(sh); err != nil {
+			return core.OpenInterval{}, err
+		}
+	}
+	return primary.DrainOpenInterval(), nil
+}
+
 // Close releases every shard's detector-bank worker pool. It is
 // idempotent. The sharded pipeline must not be used after Close.
 func (s *ShardedPipeline) Close() {

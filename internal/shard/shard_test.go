@@ -280,11 +280,11 @@ func TestShardedDrainSnapshot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(snap.Buffer) != len(recs) {
-			t.Fatalf("interval %d: drained %d records, want %d", i, len(snap.Buffer), len(recs))
+		if snap.Buffer.Len() != len(recs) {
+			t.Fatalf("interval %d: drained %d records, want %d", i, snap.Buffer.Len(), len(recs))
 		}
-		if redrain, err := sharded.DrainSnapshot(); err != nil || len(redrain.Buffer) != 0 {
-			t.Fatalf("interval %d: re-drain returned %d records, err %v", i, len(redrain.Buffer), err)
+		if redrain, err := sharded.DrainSnapshot(); err != nil || redrain.Buffer.Len() != 0 {
+			t.Fatalf("interval %d: re-drain returned %d records, err %v", i, redrain.Buffer.Len(), err)
 		}
 		if err := scratch.RestoreSnapshot(snap); err != nil {
 			t.Fatal(err)

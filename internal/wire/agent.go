@@ -334,19 +334,36 @@ func (a *Agent) readLoop(conn net.Conn, gen int) {
 // strictly increasing per agent. A permanent failure — retry budget
 // exhausted, config mismatch, no dialer — is returned and sticks.
 func (a *Agent) Ship(boundary int64, s core.PipelineSnapshot, kind FrameKind) error {
-	var typ byte
 	switch kind {
 	case KindOpenInterval:
 		if err := openIntervalOnly(s); err != nil {
 			return err
 		}
-		typ = frameOpenInterval
+		return a.shipFrame(boundary, frameOpenInterval, func(b []byte) []byte {
+			return appendOpenInterval(b, openIntervalOf(s))
+		})
 	case KindSnapshot:
-		typ = frameSnapshot
+		return a.shipFrame(boundary, frameSnapshot, func(b []byte) []byte {
+			return AppendPipelineSnapshot(b, s)
+		})
 	default:
 		return fmt.Errorf("wire: unknown frame kind %d", kind)
 	}
+}
 
+// ShipOpenInterval ships a lean drained interval (see
+// Pipeline.DrainOpenInterval) with Ship's delivery semantics. This is
+// the preferred agent path: the lean drain never copies — and this
+// frame never carries — the detection history an agent keeps empty.
+func (a *Agent) ShipOpenInterval(boundary int64, oi core.OpenInterval) error {
+	return a.shipFrame(boundary, frameOpenInterval, func(b []byte) []byte {
+		return appendOpenInterval(b, oi)
+	})
+}
+
+// shipFrame is the shared delivery path: encode under the lock, enter
+// the replay buffer, write or redial.
+func (a *Agent) shipFrame(boundary int64, typ byte, encodeBody func([]byte) []byte) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
@@ -382,11 +399,7 @@ func (a *Agent) Ship(boundary int64, s core.PipelineSnapshot, kind FrameKind) er
 
 	a.buf = appendVarint(a.buf[:0], boundary)
 	a.buf = append(a.buf, codecVersion)
-	if typ == frameOpenInterval {
-		a.buf = appendOpenInterval(a.buf, s)
-	} else {
-		a.buf = AppendPipelineSnapshot(a.buf, s)
-	}
+	a.buf = encodeBody(a.buf)
 	entry := replayEntry{typ: typ, boundary: boundary, payload: append([]byte(nil), a.buf...)}
 	a.replay = append(a.replay, entry)
 
@@ -518,25 +531,22 @@ func NewAgentSink(agent *Agent, sp *shard.ShardedPipeline) *AgentSink {
 // ObserveBatch feeds a batch into the local pipeline.
 func (s *AgentSink) ObserveBatch(recs []flow.Record) { s.sp.ObserveBatch(recs) }
 
-// EndIntervalAt drains the open interval and ships it tagged with the
-// grid boundary. A boundary of 0 (stream held no records at all) ships
-// nothing — there is no grid slot to merge it into, and the drained
-// snapshot is empty by construction.
+// EndIntervalAt drains the open interval — the lean drain, which never
+// copies the detection history an agent keeps empty — and ships it
+// tagged with the grid boundary. A boundary of 0 (stream held no
+// records at all) ships nothing — there is no grid slot to merge it
+// into, and the drained interval is empty by construction.
 func (s *AgentSink) EndIntervalAt(boundary int64) (*core.Report, error) {
-	snap, err := s.sp.DrainSnapshot()
+	oi, err := s.sp.DrainOpenInterval()
 	if err != nil {
 		return nil, err
 	}
-	rep := &core.Report{Interval: s.interval, TotalFlows: len(snap.Buffer)}
+	rep := &core.Report{Interval: s.interval, TotalFlows: oi.Buffer.Len()}
 	s.interval++
 	if boundary == 0 {
 		return rep, nil
 	}
-	// The drained snapshot of a pipeline that never closes detection
-	// carries no history, so the lean open-interval frame is lossless
-	// here and skips the all-zero reference/KL bytes a full frame would
-	// spend on every interval.
-	if err := s.agent.Ship(boundary, snap, KindOpenInterval); err != nil {
+	if err := s.agent.ShipOpenInterval(boundary, oi); err != nil {
 		return nil, err
 	}
 	return rep, nil

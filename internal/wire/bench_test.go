@@ -35,7 +35,7 @@ func benchSnapshot(b *testing.B, nFlows int) core.PipelineSnapshot {
 func BenchmarkWireSnapshot(b *testing.B) {
 	snap := benchSnapshot(b, 20000)
 	enc := wire.EncodePipelineSnapshot(snap)
-	b.Logf("snapshot size: %d bytes (%d buffered flows)", len(enc), len(snap.Buffer))
+	b.Logf("snapshot size: %d bytes (%d buffered flows)", len(enc), snap.Buffer.Len())
 
 	b.Run("encode", func(b *testing.B) {
 		b.SetBytes(int64(len(enc)))

@@ -210,7 +210,7 @@ type event struct {
 
 	id, gen  int
 	boundary int64
-	snap     core.PipelineSnapshot
+	frame    queuedFrame
 	err      error
 }
 
@@ -224,10 +224,14 @@ type helloReply struct {
 	credits chan struct{}
 }
 
-// queuedFrame is one received-but-unabsorbed interval frame.
+// queuedFrame is one received-but-unabsorbed interval frame: exactly
+// one of oi (the lean open-interval form, absorbed additively) and snap
+// (a full snapshot, restored into the scratch pipeline and merged) is
+// set.
 type queuedFrame struct {
 	boundary int64
-	snap     core.PipelineSnapshot
+	oi       *core.OpenInterval
+	snap     *core.PipelineSnapshot
 }
 
 // agentState is the merge loop's per-agent record.
@@ -454,11 +458,13 @@ func (c *Collector) handleConn(conn net.Conn, events chan<- event, done <-chan s
 			if v := rd.byte(); rd.err() == nil && v != codecVersion {
 				rd.fail("unsupported codec version %d (want %d)", v, codecVersion)
 			}
-			var snap core.PipelineSnapshot
+			frame := queuedFrame{}
 			if typ == frameOpenInterval {
-				snap = decodeOpenIntervalBody(rd)
+				oi := decodeOpenIntervalBody(rd)
+				frame.oi = &oi
 			} else {
-				snap = decodePipelineBody(rd)
+				snap := decodePipelineBody(rd)
+				frame.snap = &snap
 			}
 			rd.expectEOF()
 			if rd.err() == nil && boundary <= 0 {
@@ -472,8 +478,9 @@ func (c *Collector) handleConn(conn net.Conn, events chan<- event, done <-chan s
 				return
 			}
 			last = boundary
+			frame.boundary = boundary
 			select {
-			case events <- event{kind: evFrame, id: id, gen: gen, boundary: boundary, snap: snap}:
+			case events <- event{kind: evFrame, id: id, gen: gen, boundary: boundary, frame: frame}:
 			case <-done:
 				return
 			}
@@ -758,11 +765,20 @@ func (c *Collector) closeBoundary(s *session, b int64, emit func(*core.Report) e
 		if len(st.queue) == 0 || st.queue[0].boundary != b {
 			continue
 		}
-		if err := c.scratch.RestoreSnapshot(st.queue[0].snap); err != nil {
-			return fmt.Errorf("wire: agent %d snapshot: %w", id, err)
-		}
-		if err := c.primary.Absorb(c.scratch); err != nil {
-			return fmt.Errorf("wire: absorbing agent %d: %w", id, err)
+		if fr := st.queue[0]; fr.oi != nil {
+			// Lean open-interval frame: fold the clone snapshots and flow
+			// buffer straight into the primary — no scratch restore, no
+			// history copy.
+			if err := c.primary.AbsorbOpenInterval(*fr.oi); err != nil {
+				return fmt.Errorf("wire: absorbing agent %d: %w", id, err)
+			}
+		} else {
+			if err := c.scratch.RestoreSnapshot(*fr.snap); err != nil {
+				return fmt.Errorf("wire: agent %d snapshot: %w", id, err)
+			}
+			if err := c.primary.Absorb(c.scratch); err != nil {
+				return fmt.Errorf("wire: absorbing agent %d: %w", id, err)
+			}
 		}
 		st.queue[0] = queuedFrame{}
 		st.queue = st.queue[1:]
@@ -852,7 +868,7 @@ func (c *Collector) handleEvent(s *session, ev event, ctx context.Context) error
 			}
 			return nil
 		}
-		st.queue = append(st.queue, queuedFrame{boundary: ev.boundary, snap: ev.snap})
+		st.queue = append(st.queue, ev.frame)
 		c.met.Agent(ev.id).SetQueueDepth(int64(len(st.queue)))
 	case evBye:
 		st := s.ag[ev.id]

@@ -5,7 +5,6 @@ import (
 
 	"anomalyx/internal/core"
 	"anomalyx/internal/detector"
-	"anomalyx/internal/flow"
 	"anomalyx/internal/histogram"
 )
 
@@ -164,35 +163,10 @@ func decodeBank(r *reader) detector.BankSnapshot {
 	return s
 }
 
-// appendRecord encodes one flow record. Every field is carried —
+// The record section is columnar — see records.go for the per-column
+// schemes and the canonicality argument. Every field is carried —
 // including TCP flags and both timestamps — so a restored buffer
 // prefilters and mines exactly like the original.
-func appendRecord(b []byte, rec *flow.Record) []byte {
-	b = appendUvarint(b, uint64(rec.SrcAddr))
-	b = appendUvarint(b, uint64(rec.DstAddr))
-	b = appendUvarint(b, uint64(rec.SrcPort))
-	b = appendUvarint(b, uint64(rec.DstPort))
-	b = append(b, rec.Protocol, rec.TCPFlags)
-	b = appendUvarint(b, uint64(rec.Packets))
-	b = appendUvarint(b, rec.Bytes)
-	b = appendVarint(b, rec.Start)
-	return appendVarint(b, rec.End)
-}
-
-func decodeRecord(r *reader) flow.Record {
-	var rec flow.Record
-	rec.SrcAddr = uint32(r.uvarint())
-	rec.DstAddr = uint32(r.uvarint())
-	rec.SrcPort = uint16(r.uvarint())
-	rec.DstPort = uint16(r.uvarint())
-	rec.Protocol = r.byte()
-	rec.TCPFlags = r.byte()
-	rec.Packets = uint32(r.uvarint())
-	rec.Bytes = r.uvarint()
-	rec.Start = r.varint()
-	rec.End = r.varint()
-	return rec
-}
 
 // EncodeBankSnapshot serializes a bank snapshot, prefixed with the codec
 // version. The encoding is canonical: equal snapshots yield equal bytes.
@@ -223,11 +197,7 @@ func EncodePipelineSnapshot(s core.PipelineSnapshot) []byte {
 // (without the version byte) to b and returns the extended slice.
 func AppendPipelineSnapshot(b []byte, s core.PipelineSnapshot) []byte {
 	b = appendBank(b, s.Bank)
-	b = appendUvarint(b, uint64(len(s.Buffer)))
-	for i := range s.Buffer {
-		b = appendRecord(b, &s.Buffer[i])
-	}
-	return b
+	return appendRecordSection(b, &s.Buffer)
 }
 
 // DecodePipelineSnapshot parses an EncodePipelineSnapshot payload. It
@@ -247,27 +217,21 @@ func DecodePipelineSnapshot(b []byte) (core.PipelineSnapshot, error) {
 func decodePipelineBody(r *reader) core.PipelineSnapshot {
 	var s core.PipelineSnapshot
 	s.Bank = decodeBank(r)
-	n := r.length(10)
-	if n > 0 {
-		s.Buffer = make([]flow.Record, n)
-		for i := range s.Buffer {
-			s.Buffer[i] = decodeRecord(r)
-		}
-	}
+	s.Buffer = decodeRecordSection(r)
 	return s
 }
 
-// The lean open-interval snapshot form. An agent's pipeline never
-// closes detection, so of a full pipeline snapshot only the open
-// interval carries information: the reference counts are all zero, the
-// KL series empty, the interval counter zero. The open-interval
-// encoding skips that dead weight — per detector it carries the clone
-// histograms alone, then the flow buffer — and the decoder
-// reconstructs the canonical empty history (zeroed Prev and KLPrev of
-// the right shapes, nil Diffs, false flags), so
-// decode(encodeOpenInterval(s)) is deeply equal to the drained s. Full
-// snapshots remain the format for true checkpoints, where history is
-// the point.
+// The lean open-interval form. An agent's pipeline never closes
+// detection, so of a full pipeline snapshot only the open interval
+// carries information: the reference counts are all zero, the KL series
+// empty, the interval counter zero. The open-interval encoding is
+// exactly core.OpenInterval — per detector the clone histograms alone,
+// then the flow buffer — matching the lean drain
+// (Pipeline.DrainOpenInterval) on the agent side and the additive
+// absorb (Pipeline.AbsorbOpenInterval) on the collector side, so the
+// dead history is never copied, encoded, or restored anywhere on the
+// per-interval path. Full snapshots remain the format for true
+// checkpoints, where history is the point.
 
 // openIntervalOnly guards the lean form: encoding a snapshot that
 // carries history would silently discard it, so it is refused instead.
@@ -300,49 +264,65 @@ func openIntervalOnly(s core.PipelineSnapshot) error {
 }
 
 // appendOpenInterval appends the lean body: per detector the clone
-// histograms only, then the buffered flows. Callers must have checked
-// openIntervalOnly.
-func appendOpenInterval(b []byte, s core.PipelineSnapshot) []byte {
-	b = appendUvarint(b, uint64(len(s.Bank.Detectors)))
-	for _, ds := range s.Bank.Detectors {
-		b = appendUvarint(b, uint64(len(ds.Clones)))
-		for _, hs := range ds.Clones {
+// histograms only, then the buffered flows.
+func appendOpenInterval(b []byte, oi core.OpenInterval) []byte {
+	b = appendUvarint(b, uint64(len(oi.Clones)))
+	for _, clones := range oi.Clones {
+		b = appendUvarint(b, uint64(len(clones)))
+		for _, hs := range clones {
 			b = appendHistogram(b, hs)
 		}
 	}
-	b = appendUvarint(b, uint64(len(s.Buffer)))
-	for i := range s.Buffer {
-		b = appendRecord(b, &s.Buffer[i])
-	}
-	return b
+	return appendRecordSection(b, &oi.Buffer)
 }
 
-// decodeOpenIntervalBody parses a lean body and reconstructs the full
-// snapshot shape with canonical empty history, sized from the decoded
-// clones (the bin count travels inside each histogram).
-func decodeOpenIntervalBody(r *reader) core.PipelineSnapshot {
-	var s core.PipelineSnapshot
-	s.Bank.Detectors = make([]detector.Snapshot, r.length(8))
-	for i := range s.Bank.Detectors {
-		nc := r.length(3)
-		ds := detector.Snapshot{
-			Clones: make([]histogram.Snapshot, nc),
-			Prev:   make([][]uint64, nc),
-			KLPrev: make([]float64, nc),
+// decodeOpenIntervalBody parses a lean body into the drained
+// open-interval form the collector absorbs additively.
+func decodeOpenIntervalBody(r *reader) core.OpenInterval {
+	var oi core.OpenInterval
+	oi.Clones = make([][]histogram.Snapshot, r.length(8))
+	for i := range oi.Clones {
+		clones := make([]histogram.Snapshot, r.length(3))
+		for c := range clones {
+			clones[c] = decodeHistogram(r)
 		}
-		for c := 0; c < nc; c++ {
-			ds.Clones[c] = decodeHistogram(r)
-			ds.Prev[c] = make([]uint64, len(ds.Clones[c].Counts))
+		oi.Clones[i] = clones
+	}
+	oi.Buffer = decodeRecordSection(r)
+	return oi
+}
+
+// openIntervalOf projects a history-free pipeline snapshot onto the
+// lean form. Callers must have checked openIntervalOnly.
+func openIntervalOf(s core.PipelineSnapshot) core.OpenInterval {
+	oi := core.OpenInterval{
+		Clones: make([][]histogram.Snapshot, len(s.Bank.Detectors)),
+		Buffer: s.Buffer,
+	}
+	for i, ds := range s.Bank.Detectors {
+		oi.Clones[i] = ds.Clones
+	}
+	return oi
+}
+
+// expandOpenInterval reconstructs the full snapshot shape from the lean
+// form, with canonical empty history sized from the decoded clones (the
+// bin count travels inside each histogram).
+func expandOpenInterval(oi core.OpenInterval) core.PipelineSnapshot {
+	var s core.PipelineSnapshot
+	s.Bank.Detectors = make([]detector.Snapshot, len(oi.Clones))
+	for i, clones := range oi.Clones {
+		ds := detector.Snapshot{
+			Clones: clones,
+			Prev:   make([][]uint64, len(clones)),
+			KLPrev: make([]float64, len(clones)),
+		}
+		for c := range clones {
+			ds.Prev[c] = make([]uint64, len(clones[c].Counts))
 		}
 		s.Bank.Detectors[i] = ds
 	}
-	n := r.length(10)
-	if n > 0 {
-		s.Buffer = make([]flow.Record, n)
-		for i := range s.Buffer {
-			s.Buffer[i] = decodeRecord(r)
-		}
-	}
+	s.Buffer = oi.Buffer
 	return s
 }
 
@@ -354,7 +334,7 @@ func EncodeOpenIntervalSnapshot(s core.PipelineSnapshot) ([]byte, error) {
 	if err := openIntervalOnly(s); err != nil {
 		return nil, err
 	}
-	return appendOpenInterval([]byte{codecVersion}, s), nil
+	return appendOpenInterval([]byte{codecVersion}, openIntervalOf(s)), nil
 }
 
 // DecodeOpenIntervalSnapshot parses an EncodeOpenIntervalSnapshot
@@ -366,9 +346,9 @@ func DecodeOpenIntervalSnapshot(b []byte) (core.PipelineSnapshot, error) {
 	if v := r.byte(); r.err() == nil && v != codecVersion {
 		return core.PipelineSnapshot{}, fmt.Errorf("wire: unsupported codec version %d (want %d)", v, codecVersion)
 	}
-	s := decodeOpenIntervalBody(r)
+	oi := decodeOpenIntervalBody(r)
 	r.expectEOF()
-	return s, r.err()
+	return expandOpenInterval(oi), r.err()
 }
 
 func boolByte(v bool) byte {

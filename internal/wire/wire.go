@@ -48,8 +48,10 @@ import (
 )
 
 // codecVersion is the snapshot encoding version; bump it on any change
-// to the byte layout. Decoders reject other versions.
-const codecVersion = 1
+// to the byte layout. Decoders reject other versions. Version 2
+// replaced the row-wise record section with the columnar encoding of
+// records.go.
+const codecVersion = 2
 
 // appendUvarint, appendVarint, and appendFloat64 are the codec's three
 // primitive writers. Floats are stored as their IEEE-754 bit pattern in
@@ -135,6 +137,21 @@ func (r *reader) varint() int64 {
 		v = ^v
 	}
 	return v
+}
+
+// bytes reads n raw bytes into a fresh slice.
+func (r *reader) bytes(n int) []byte {
+	if r.e != nil {
+		return nil
+	}
+	if r.rem() < n {
+		r.fail("truncated %d-byte column at byte %d", n, r.off)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += n
+	return out
 }
 
 func (r *reader) float64() float64 {

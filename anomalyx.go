@@ -224,6 +224,15 @@ type (
 	// ConfigMismatchError reports a handshake rejected over differing
 	// detection-config digests; match it with errors.As.
 	ConfigMismatchError = wire.ConfigMismatchError
+	// WireRelay is an intermediate federation node: a collector facing
+	// child agents below and an agent facing a parent collector above.
+	// It merges its children's interval frames and ships the merged
+	// open interval upward without ever running detection — only the
+	// tree's root owns detection history and emits reports.
+	WireRelay = wire.Relay
+	// RelayConfig parameterizes a relay node: fan-in, position in the
+	// tree, upstream address, and checkpoint/resume options.
+	RelayConfig = wire.RelayConfig
 )
 
 // The partial-interval policies; see PartialPolicy.
@@ -309,6 +318,16 @@ func NewAgent(cfg EngineConfig, ac AgentConfig) (*AgentSession, error) {
 // NewCollector is kept compiling below.)
 func NewCollectorWithConfig(cfg Config, cc CollectorConfig) (*WireCollector, error) {
 	return wire.NewCollector(cfg, cc)
+}
+
+// NewRelay builds a federation relay node; drive it with Serve on a
+// TCP listener facing its children. cfg must match the whole tree's
+// detection configuration (digest-checked on every edge). A relay
+// never acks a child's boundary before the boundary is either acked by
+// its own parent or durably checkpointed, so no tier of the tree can
+// lose or duplicate an interval.
+func NewRelay(cfg Config, rc RelayConfig) (*WireRelay, error) {
+	return wire.NewRelay(cfg, rc)
 }
 
 // DialCollector connects to a collector and performs the handshake for

@@ -12,6 +12,7 @@
 //
 //	anomalyx -mode agent -in part0.nf5 -connect host:4711 -agent-id 0 [-shards N] ...
 //	anomalyx -mode collector -listen :4711 -agents 2 ...
+//	anomalyx -mode relay -listen :4712 -connect root:4711 -agent-id 0 -agents 2 ...
 //
 // With -shards N > 1 the engine hash-partitions flows across N
 // independent pipelines and merges the per-shard state at every interval
@@ -31,6 +32,14 @@
 // -train, and the detector seed) must match between agents and
 // collector; the connection handshake enforces this with a config
 // digest. See docs/ARCHITECTURE.md, "Distributed deployment".
+//
+// Relay mode federates collectors into a tree: a relay accepts -agents
+// child connections on -listen (leaves or deeper relays), merges their
+// interval frames without running detection, and ships the merged
+// interval to its parent at -connect as agent -agent-id. Only the
+// tree's root (a plain collector) emits reports, still byte-identical
+// to a flat deployment over the same leaves. See docs/ARCHITECTURE.md,
+// "Federation".
 package main
 
 import (
@@ -57,6 +66,7 @@ type options struct {
 	listen   string
 	agents   int
 	agentID  int
+	leafBase int
 	interval time.Duration
 	minsup   int
 	relsup   float64
@@ -88,12 +98,13 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs := flag.NewFlagSet("anomalyx", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	o := &options{}
-	fs.StringVar(&o.mode, "mode", "run", "run (local), agent (ship intervals to a collector), or collector (merge agents)")
+	fs.StringVar(&o.mode, "mode", "run", "run (local), agent (ship intervals to a collector), collector (merge agents), or relay (merge children and ship upward)")
 	fs.StringVar(&o.in, "in", "", "input NetFlow v5 trace file (required for run and agent modes)")
-	fs.StringVar(&o.connect, "connect", "", "collector address to ship snapshots to (agent mode)")
-	fs.StringVar(&o.listen, "listen", "", "address to accept agent connections on (collector mode)")
-	fs.IntVar(&o.agents, "agents", 0, "number of agent connections to accept (collector mode)")
-	fs.IntVar(&o.agentID, "agent-id", -1, "this agent's ID in [0, agents) (agent mode)")
+	fs.StringVar(&o.connect, "connect", "", "upstream collector address to ship to (agent and relay modes)")
+	fs.StringVar(&o.listen, "listen", "", "address to accept child connections on (collector and relay modes)")
+	fs.IntVar(&o.agents, "agents", 0, "number of child connections to accept (collector and relay modes)")
+	fs.IntVar(&o.agentID, "agent-id", -1, "this node's agent ID on its upstream, in [0, upstream fan-in) (agent and relay modes)")
+	fs.IntVar(&o.leafBase, "leaf-base", 0, "first global leaf ID under this relay (0 = agent-id times agents, the balanced-tree numbering) (relay mode)")
 	fs.DurationVar(&o.interval, "interval", 15*time.Minute, "measurement interval length")
 	fs.IntVar(&o.minsup, "minsup", 0, "absolute minimum support (0 = use -relsup)")
 	fs.Float64Var(&o.relsup, "relsup", 0.05, "minimum support as a fraction of the suspicious flows")
@@ -139,6 +150,25 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 		}
 		if o.agents < 1 {
 			return nil, fmt.Errorf("anomalyx: collector mode requires -agents >= 1")
+		}
+		if o.partial != "hold" && o.partial != "close" {
+			return nil, fmt.Errorf("anomalyx: -partial must be hold or close, got %q", o.partial)
+		}
+		if o.resume && o.checkpoint == "" {
+			return nil, fmt.Errorf("anomalyx: -resume requires -checkpoint")
+		}
+	case "relay":
+		if o.listen == "" {
+			return nil, fmt.Errorf("anomalyx: relay mode requires -listen")
+		}
+		if o.connect == "" {
+			return nil, fmt.Errorf("anomalyx: relay mode requires -connect")
+		}
+		if o.agentID < 0 {
+			return nil, fmt.Errorf("anomalyx: relay mode requires -agent-id >= 0")
+		}
+		if o.agents < 1 {
+			return nil, fmt.Errorf("anomalyx: relay mode requires -agents >= 1")
 		}
 		if o.partial != "hold" && o.partial != "close" {
 			return nil, fmt.Errorf("anomalyx: -partial must be hold or close, got %q", o.partial)
@@ -365,6 +395,44 @@ func serveCollector(o *options, ln net.Listener, out io.Writer) (intervals, alar
 	return intervals, alarms, err
 }
 
+// runRelay accepts o.agents child connections on ln, merges their
+// interval frames, and ships each merged interval to the parent at
+// o.connect. No detection happens here and nothing is printed per
+// interval — the tree's root emits the reports.
+func runRelay(o *options, ln net.Listener) error {
+	engCfg, err := o.engineConfig()
+	if err != nil {
+		return err
+	}
+	policy := anomalyx.HoldWithTimeout
+	if o.partial == "close" {
+		policy = anomalyx.CloseWithout
+	}
+	rel, err := anomalyx.NewRelay(engCfg.Pipeline, anomalyx.RelayConfig{
+		Children:       o.agents,
+		AgentID:        o.agentID,
+		Parent:         o.connect,
+		LeafBase:       o.leafBase,
+		Policy:         policy,
+		HoldTimeout:    o.holdTimeout,
+		CheckpointPath: o.checkpoint,
+		Resume:         o.resume,
+		MetricsAddr:    o.metricsAddr,
+		Retry: anomalyx.RetryConfig{
+			MaxAttempts: o.retryMax,
+			BaseDelay:   o.retryBase,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer rel.Close()
+	if o.metricsAddr != "" {
+		expvar.Publish("anomalyx.relay", rel.Metrics())
+	}
+	return rel.Serve(context.Background(), ln)
+}
+
 func main() {
 	o, err := parseArgs(os.Args[1:], os.Stderr)
 	if err == flag.ErrHelp {
@@ -386,6 +454,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nmerged %d intervals from %d agents, %d alarms\n", intervals, o.agents, alarms)
+	case "relay":
+		ln, err := net.Listen("tcp", o.listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		if err := runRelay(o, ln); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nrelayed %d children to %s\n", o.agents, o.connect)
 	case "agent":
 		f, err := os.Open(o.in)
 		if err != nil {

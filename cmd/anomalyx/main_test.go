@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"anomalyx"
 	"anomalyx/internal/netflow"
 	"anomalyx/internal/tracegen"
 )
@@ -201,6 +203,23 @@ func TestParseArgsModes(t *testing.T) {
 		o.checkpoint != "cp.axcp" || !o.resume || o.metricsAddr != ":9000" {
 		t.Fatalf("fault-tolerance flags not plumbed: %+v", o)
 	}
+	// Relay mode is both halves at once: it must name its upstream like
+	// an agent and its fan-in like a collector.
+	o, err = parseArgs([]string{
+		"-mode", "relay", "-listen", ":2", "-connect", "root:1",
+		"-agent-id", "1", "-agents", "2", "-leaf-base", "6",
+		"-partial", "close", "-checkpoint", "relay.axrp", "-resume",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.mode != "relay" || o.listen != ":2" || o.connect != "root:1" ||
+		o.agentID != 1 || o.agents != 2 || o.leafBase != 6 {
+		t.Fatalf("relay flags not plumbed: %+v", o)
+	}
+	if o.partial != "close" || o.checkpoint != "relay.axrp" || !o.resume {
+		t.Fatalf("relay fault-tolerance flags not plumbed: %+v", o)
+	}
 	for _, bad := range [][]string{
 		{"-mode", "agent", "-connect", "h:1", "-agent-id", "0"}, // no -in
 		{"-mode", "agent", "-in", "x", "-agent-id", "0"},        // no -connect
@@ -209,8 +228,16 @@ func TestParseArgsModes(t *testing.T) {
 		{"-mode", "collector", "-listen", ":1"},                 // no -agents
 		{"-mode", "collector", "-listen", ":1", "-agents", "2",
 			"-partial", "sometimes"}, // bogus partial policy
-		{"-mode", "collector", "-listen", ":1", "-agents", "2", "-resume"}, // -resume without -checkpoint
-		{"-mode", "swarm", "-in", "x"},                                     // unknown mode
+		{"-mode", "collector", "-listen", ":1", "-agents", "2", "-resume"},       // -resume without -checkpoint
+		{"-mode", "relay", "-connect", "r:1", "-agent-id", "0", "-agents", "2"},  // no -listen
+		{"-mode", "relay", "-listen", ":2", "-agent-id", "0", "-agents", "2"},    // no -connect
+		{"-mode", "relay", "-listen", ":2", "-connect", "r:1", "-agents", "2"},   // no -agent-id
+		{"-mode", "relay", "-listen", ":2", "-connect", "r:1", "-agent-id", "0"}, // no -agents
+		{"-mode", "relay", "-listen", ":2", "-connect", "r:1", "-agent-id", "0",
+			"-agents", "2", "-partial", "maybe"}, // bogus partial policy
+		{"-mode", "relay", "-listen", ":2", "-connect", "r:1", "-agent-id", "0",
+			"-agents", "2", "-resume"}, // -resume without -checkpoint
+		{"-mode", "swarm", "-in", "x"}, // unknown mode
 	} {
 		if _, err := parseArgs(bad, io.Discard); err == nil {
 			t.Fatalf("args %v accepted", bad)
@@ -327,6 +354,185 @@ func TestDistributedModesMatchLocalRun(t *testing.T) {
 		t.Fatalf("collector output diverged from local run\ngot:\n%s\nwant:\n%s",
 			collOut.String(), localOut.String())
 	}
+}
+
+// TestRelayModeMatchesLocalRun drives the CLI's relay path end to end:
+// four agents stream quarter-traces to two relays, the relays ship the
+// merged intervals to a root collector, and the root's printed reports
+// must be byte-identical to a local -mode run over the whole trace.
+func TestRelayModeMatchesLocalRun(t *testing.T) {
+	cfg := tracegen.SmallConfig()
+	cfg.Intervals, cfg.BaseFlows = 8, 1500
+	cfg.Events = tracegen.Schedule(cfg.Intervals, cfg.BaseFlows)
+	gen := tracegen.New(cfg)
+	var whole bytes.Buffer
+	var parts [4]bytes.Buffer
+	writers := []*netflow.Writer{netflow.NewWriter(&whole, cfg.IntervalStart(0))}
+	for i := range parts {
+		writers = append(writers, netflow.NewWriter(&parts[i], cfg.IntervalStart(0)))
+	}
+	for i := 0; i < cfg.Intervals; i++ {
+		recs := gen.Interval(i)
+		if i == 6 {
+			for j := range recs {
+				if j%3 == 0 {
+					recs[j].DstAddr, recs[j].DstPort = 42, 31337
+					recs[j].Packets, recs[j].Bytes = 1, 40
+				}
+			}
+		}
+		for j, rec := range recs {
+			if err := writers[0].Write(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := writers[1+j%4].Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, w := range writers {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	baseArgs := []string{"-interval", "15m", "-bins", "256", "-train", "4", "-v"}
+	localOpts, err := parseArgs(append([]string{"-in", "x"}, baseArgs...), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localOut bytes.Buffer
+	wantIntervals, wantAlarms, err := run(localOpts, bytes.NewReader(whole.Bytes()), &localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantAlarms == 0 {
+		t.Fatal("local reference run never alarmed")
+	}
+
+	rootLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootLn.Close()
+	collOpts, err := parseArgs(append([]string{
+		"-mode", "collector", "-listen", "ignored", "-agents", "2",
+	}, baseArgs...), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var collOut bytes.Buffer
+	type collResult struct {
+		intervals, alarms int
+		err               error
+	}
+	collDone := make(chan collResult, 1)
+	go func() {
+		intervals, alarms, err := serveCollector(collOpts, rootLn, &collOut)
+		collDone <- collResult{intervals, alarms, err}
+	}()
+
+	relayLns := make([]net.Listener, 2)
+	relayDone := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		relayLns[r], err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		relayOpts, err := parseArgs(append([]string{
+			"-mode", "relay", "-listen", "ignored", "-connect", rootLn.Addr().String(),
+			"-agent-id", fmt.Sprint(r), "-agents", "2",
+		}, baseArgs...), io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(o *options, ln net.Listener) {
+			relayDone <- runRelay(o, ln)
+		}(relayOpts, relayLns[r])
+	}
+
+	agentErrs := make(chan error, len(parts))
+	for leaf := range parts {
+		go func(leaf int) {
+			o, err := parseArgs(append([]string{
+				"-mode", "agent", "-in", "x",
+				"-connect", relayLns[leaf/2].Addr().String(),
+				"-agent-id", fmt.Sprint(leaf % 2),
+			}, baseArgs...), io.Discard)
+			if err != nil {
+				agentErrs <- err
+				return
+			}
+			_, err = runAgent(o, bytes.NewReader(parts[leaf].Bytes()), io.Discard)
+			agentErrs <- err
+		}(leaf)
+	}
+	for range parts {
+		if err := <-agentErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range relayLns {
+		if err := <-relayDone; err != nil {
+			t.Fatalf("relay: %v", err)
+		}
+	}
+	res := <-collDone
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.intervals != wantIntervals || res.alarms != wantAlarms {
+		t.Fatalf("root counts (%d, %d) diverged from local run (%d, %d)",
+			res.intervals, res.alarms, wantIntervals, wantAlarms)
+	}
+	if collOut.String() != localOut.String() {
+		t.Fatalf("root output diverged from local run\ngot:\n%s\nwant:\n%s",
+			collOut.String(), localOut.String())
+	}
+}
+
+// TestRelayModeConfigMismatchSurfaces pins the exit-3 path through a
+// relay: when the relay's detection flags disagree with its upstream
+// collector's, runRelay must surface a *ConfigMismatchError — the error
+// fatal maps to exit code 3 — rather than a generic dial failure.
+func TestRelayModeConfigMismatchSurfaces(t *testing.T) {
+	rootLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootLn.Close()
+	collOpts, err := parseArgs([]string{
+		"-mode", "collector", "-listen", "ignored", "-agents", "1", "-bins", "512",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collDone := make(chan error, 1)
+	go func() {
+		_, _, err := serveCollector(collOpts, rootLn, io.Discard)
+		collDone <- err
+	}()
+
+	relayLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayOpts, err := parseArgs([]string{
+		"-mode", "relay", "-listen", "ignored", "-connect", rootLn.Addr().String(),
+		"-agent-id", "0", "-agents", "1", "-bins", "256",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = runRelay(relayOpts, relayLn)
+	var mismatch *anomalyx.ConfigMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("runRelay returned %v, want a *ConfigMismatchError", err)
+	}
+	// The root is still waiting for its one agent; tear it down and let
+	// the expected teardown error go.
+	rootLn.Close()
+	<-collDone
 }
 
 // TestRunSurfacesBadInput covers the decode-error path.

@@ -364,37 +364,58 @@ func (a *Agent) ShipOpenInterval(boundary int64, oi core.OpenInterval) error {
 // shipFrame is the shared delivery path: encode under the lock, enter
 // the replay buffer, write or redial.
 func (a *Agent) shipFrame(boundary int64, typ byte, encodeBody func([]byte) []byte) error {
+	_, err := a.ship(boundary, typ, encodeBody, false)
+	return err
+}
+
+// ship implements shipFrame, with one extra mode for relays: when
+// skipStale is set, a boundary at or below the collector's ack line (or
+// the replay-buffer tail) returns (false, nil) instead of an error — a
+// resumed relay legitimately re-closes boundaries its parent already
+// holds, and must settle its children for them without resending.
+func (a *Agent) ship(boundary int64, typ byte, encodeBody func([]byte) []byte, skipStale bool) (bool, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
-		return fmt.Errorf("wire: agent %d closed", a.id)
+		return false, fmt.Errorf("wire: agent %d closed", a.id)
 	}
 	if a.permErr != nil {
-		return a.permErr
+		return false, a.permErr
 	}
 	if boundary <= a.acked {
-		return fmt.Errorf("wire: agent %d boundary %d not after acked %d", a.id, boundary, a.acked)
+		if skipStale {
+			return false, nil
+		}
+		return false, fmt.Errorf("wire: agent %d boundary %d not after acked %d", a.id, boundary, a.acked)
 	}
 	if n := len(a.replay); n > 0 && boundary <= a.replay[n-1].boundary {
-		return fmt.Errorf("wire: agent %d boundary %d not after %d", a.id, boundary, a.replay[n-1].boundary)
+		if skipStale {
+			return false, nil
+		}
+		return false, fmt.Errorf("wire: agent %d boundary %d not after %d", a.id, boundary, a.replay[n-1].boundary)
 	}
 
 	// Wait for replay space; acks free it, a dead connection has to be
 	// redialed first for them to arrive.
 	for len(a.replay) >= a.opts.ReplayBuffer {
 		if a.permErr != nil {
-			return a.permErr
+			return false, a.permErr
 		}
 		if a.closed {
-			return fmt.Errorf("wire: agent %d closed", a.id)
+			return false, fmt.Errorf("wire: agent %d closed", a.id)
 		}
 		if a.conn == nil {
 			if err := a.reconnectLocked(a.redialAttempts()); err != nil {
-				return err
+				return false, err
 			}
 			continue
 		}
 		a.cond.Wait()
+	}
+	if skipStale && boundary <= a.acked {
+		// The ack line moved past this boundary while waiting for replay
+		// space (a reconnect handshake can advance it): already settled.
+		return false, nil
 	}
 
 	a.buf = appendVarint(a.buf[:0], boundary)
@@ -406,17 +427,97 @@ func (a *Agent) shipFrame(boundary int64, typ byte, encodeBody func([]byte) []by
 	if a.conn == nil {
 		// The reconnect handshake replays the whole buffer, the new
 		// entry included.
-		return a.reconnectLocked(a.redialAttempts())
+		return true, a.reconnectLocked(a.redialAttempts())
 	}
 	if err := writeFrame(a.w, entry.typ, entry.payload); err == nil {
 		if err = a.w.Flush(); err == nil {
-			return nil
+			return true, nil
 		}
 	}
 	// The write broke the connection; the entry is safe in the replay
 	// buffer, so redialing both repairs the stream and resends it.
 	a.dropConnLocked()
-	return a.reconnectLocked(a.redialAttempts())
+	return true, a.reconnectLocked(a.redialAttempts())
+}
+
+// shipRelayInterval ships a relay's merged interval upstream as a
+// frameRelayInterval, with Ship's delivery semantics plus stale-skip:
+// the reported bool is false when the boundary was already settled
+// upstream (acked or still buffered from before a resume) and nothing
+// was sent. spanLo/spanLen describe the relay's global leaf span and
+// missing lists the in-span leaf IDs this boundary closed without.
+func (a *Agent) shipRelayInterval(boundary int64, spanLo, spanLen int, missing []int, oi core.OpenInterval) (bool, error) {
+	return a.ship(boundary, frameRelayInterval, func(b []byte) []byte {
+		b = appendRelayHeader(b, spanLo, spanLen, missing)
+		return appendOpenInterval(b, oi)
+	}, true)
+}
+
+// connect performs the initial dial-and-handshake for an agent built
+// with newAgent and an explicit dialer (the relay's upstream face);
+// DialAgent does the equivalent itself.
+func (a *Agent) connect() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reconnectLocked(max(1, a.redialAttempts()))
+}
+
+// waitAckedAbove blocks until the collector's cumulative ack line
+// exceeds prev, returning the new line. ok=false means no further
+// progress will come: the agent was closed or its stream failed
+// permanently with the line still at or below prev.
+func (a *Agent) waitAckedAbove(prev int64) (line int64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.acked <= prev && !a.closed && a.permErr == nil {
+		a.cond.Wait()
+	}
+	return a.acked, a.acked > prev
+}
+
+// unackedFrames returns how many shipped frames await an upstream ack.
+func (a *Agent) unackedFrames() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.replay)
+}
+
+// replayState copies the unacked replay entries, boundary ascending —
+// what a relay checkpoint must persist so a restart can re-offer them.
+// Payload slices are shared; entries are immutable once buffered.
+func (a *Agent) replayState() []replayEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]replayEntry(nil), a.replay...)
+}
+
+// preloadReplay seeds the replay buffer from a relay checkpoint before
+// the first dial. The handshake's HelloOK line then trims whatever the
+// collector already holds and resends the rest.
+func (a *Agent) preloadReplay(entries []replayEntry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.replay = append(a.replay[:0], entries...)
+}
+
+// abort ends the agent without the Bye handshake: the stream is not
+// cleanly finished — a relay session failed mid-flight — and the
+// collector must keep treating this agent as resumable (statusDown, not
+// statusBye). Unacked frames are deliberately left undelivered; a
+// checkpointed restart re-offers them.
+func (a *Agent) abort() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.gen++
+	if a.conn != nil {
+		a.conn.Close()
+		a.conn, a.w = nil, nil
+	}
+	a.cond.Broadcast()
 }
 
 // dropConnLocked closes and forgets the current connection. a.mu must

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -142,6 +141,10 @@ type Collector struct {
 	primary *core.Pipeline // owns all detection state
 	scratch *core.Pipeline // decode target, reused across snapshots
 	met     *metrics.Session
+	// fwd, when non-nil, puts the collector in forward mode: it is the
+	// child-facing half of a Relay, and every closed boundary is drained
+	// and shipped upstream instead of closing detection. See relay.go.
+	fwd *forwarder
 }
 
 // NewCollector builds a collector. cfg is the full pipeline
@@ -199,6 +202,10 @@ const (
 	evConnErr
 	evAcceptErr
 	evHoldTimeout
+	// evUpstreamAck (forward mode only): the relay's parent advanced its
+	// cumulative ack line to boundary; children may now be settled up to
+	// it.
+	evUpstreamAck
 )
 
 // event is one merge-loop input.
@@ -232,6 +239,11 @@ type queuedFrame struct {
 	boundary int64
 	oi       *core.OpenInterval
 	snap     *core.PipelineSnapshot
+	// Relay frames additionally carry the sender's global leaf span and
+	// the in-span leaf IDs its boundary closed without; spanLen is 0 for
+	// plain agent frames.
+	missing         []int
+	spanLo, spanLen int
 }
 
 // agentState is the merge loop's per-agent record.
@@ -247,6 +259,10 @@ type agentState struct {
 	// emittedAtAbsorb is the session's emitted count when the agent last
 	// participated in a close; emitted - emittedAtAbsorb is its lag.
 	emittedAtAbsorb int64
+	// spanLo/spanLen remember the leaf span of an agent that is itself a
+	// relay (learned from its frames; spanLen 0 for plain agents), so a
+	// fully silent relay degrades Partial attribution to its leaves.
+	spanLo, spanLen int
 }
 
 // tail returns the agent's highest queued boundary, or its absorbed
@@ -264,8 +280,13 @@ type session struct {
 	ag         []*agentState
 	lastClosed int64
 	emitted    int64
-	events     chan event
-	done       chan struct{}
+	// acked is the line agents may be acked up to. At the root (and in a
+	// checkpointed relay) it tracks lastClosed; in an ack-gated relay it
+	// is min(upstream ack line, lastClosed) — the ack-after-upstream
+	// ordering rule that makes a relay crash unable to lose a boundary.
+	acked  int64
+	events chan event
+	done   chan struct{}
 	// forget removes a connection from Serve's teardown set — called when
 	// a Bye hands the connection to its ack writer, whose final ByeOK
 	// write must not race the session-end mass close.
@@ -301,6 +322,12 @@ func (c *Collector) Serve(ctx context.Context, ln net.Listener, emit func(*core.
 		if err := c.restore(s); err != nil {
 			return err
 		}
+	}
+	if c.fwd != nil {
+		if cp := c.fwd.restored; cp != nil {
+			c.restoreForward(s, cp)
+		}
+		go c.watchUpstreamAcks(s)
 	}
 
 	if c.cc.MetricsAddr != "" {
@@ -370,6 +397,7 @@ func (c *Collector) restore(s *session) error {
 	}
 	s.lastClosed = cp.lastClosed
 	s.emitted = cp.emitted
+	s.acked = cp.lastClosed
 	for id, st := range s.ag {
 		st.absorbed = cp.absorbed[id]
 		st.emittedAtAbsorb = cp.emitted
@@ -452,35 +480,18 @@ func (c *Collector) handleConn(conn net.Conn, events chan<- event, done <-chan s
 			return
 		}
 		switch typ {
-		case frameSnapshot, frameOpenInterval:
-			rd := &reader{buf: payload}
-			boundary := rd.varint()
-			if v := rd.byte(); rd.err() == nil && v != codecVersion {
-				rd.fail("unsupported codec version %d (want %d)", v, codecVersion)
+		case frameSnapshot, frameOpenInterval, frameRelayInterval:
+			frame, err := decodeIntervalPayload(typ, payload, c.fwd != nil)
+			if err == nil && frame.boundary <= last {
+				err = fmt.Errorf("wire: boundary %d not after %d on one connection", frame.boundary, last)
 			}
-			frame := queuedFrame{}
-			if typ == frameOpenInterval {
-				oi := decodeOpenIntervalBody(rd)
-				frame.oi = &oi
-			} else {
-				snap := decodePipelineBody(rd)
-				frame.snap = &snap
-			}
-			rd.expectEOF()
-			if rd.err() == nil && boundary <= 0 {
-				rd.fail("non-positive snapshot boundary %d", boundary)
-			}
-			if rd.err() == nil && boundary <= last {
-				rd.fail("boundary %d not after %d on one connection", boundary, last)
-			}
-			if rd.err() != nil {
-				fail(rd.err())
+			if err != nil {
+				fail(err)
 				return
 			}
-			last = boundary
-			frame.boundary = boundary
+			last = frame.boundary
 			select {
-			case events <- event{kind: evFrame, id: id, gen: gen, boundary: boundary, frame: frame}:
+			case events <- event{kind: evFrame, id: id, gen: gen, boundary: frame.boundary, frame: frame}:
 			case <-done:
 				return
 			}
@@ -583,13 +594,18 @@ func (c *Collector) merge(ctx context.Context, s *session, emit func(*core.Repor
 				break
 			}
 			s.stopHold()
-			if err := c.closeBoundary(s, b, emit); err != nil {
+			if err := c.closeNext(s, b, emit); err != nil {
 				return err
 			}
 		}
 		c.armHold(s)
 
 		if s.finished() {
+			if c.fwd != nil {
+				// A relay ends silently: the empty-stream parity report is
+				// the root's to emit, once, for the whole tree.
+				return nil
+			}
 			if s.emitted == 0 {
 				// Parity with a single process over an empty stream: its
 				// engine still flushes one (empty) final interval on
@@ -755,12 +771,22 @@ func (a *agentState) finishConn() {
 	a.gen++
 }
 
+// closeNext closes boundary b on whichever path the collector runs:
+// the root's emit path or a relay's forward path.
+func (c *Collector) closeNext(s *session, b int64, emit func(*core.Report) error) error {
+	if c.fwd != nil {
+		return c.closeBoundaryForward(s, b)
+	}
+	return c.closeBoundary(s, b, emit)
+}
+
 // closeBoundary absorbs every agent's frame for boundary b in agent-ID
 // order, closes the interval on the primary pipeline, emits the report
 // (flagging agents the interval closed without), checkpoints when
 // configured, and only then acks b to the connected agents — so an
 // acked frame is never one a restarted collector would need again.
 func (c *Collector) closeBoundary(s *session, b int64, emit func(*core.Report) error) error {
+	var frameMissing []int
 	for id, st := range s.ag {
 		if len(st.queue) == 0 || st.queue[0].boundary != b {
 			continue
@@ -772,6 +798,7 @@ func (c *Collector) closeBoundary(s *session, b int64, emit func(*core.Report) e
 			if err := c.primary.AbsorbOpenInterval(*fr.oi); err != nil {
 				return fmt.Errorf("wire: absorbing agent %d: %w", id, err)
 			}
+			frameMissing = append(frameMissing, fr.missing...)
 		} else {
 			if err := c.scratch.RestoreSnapshot(*fr.snap); err != nil {
 				return fmt.Errorf("wire: agent %d snapshot: %w", id, err)
@@ -791,18 +818,13 @@ func (c *Collector) closeBoundary(s *session, b int64, emit func(*core.Report) e
 	if err != nil {
 		return err
 	}
-	var partial []int
-	for id, st := range s.ag {
-		// Flag the agents this interval closed without: disconnected and
-		// their frame for b neither queued nor just absorbed (absorbed is
-		// advanced to b in the loop above for every contributor, so an
-		// agent that delivered b and then dropped is not flagged).
-		if (st.status == statusDown || st.status == statusDead) && len(st.queue) == 0 && st.absorbed < b {
-			partial = append(partial, id)
-		}
-	}
-	sort.Ints(partial)
-	rep.Partial = partial
+	// Flag the leaf agents this interval closed without: the missing
+	// lists carried by relay frames, plus every disconnected agent whose
+	// frame for b is neither queued nor just absorbed (absorbed advances
+	// to b in the loop above for every contributor, so an agent that
+	// delivered b and then dropped is not flagged). A silent relay
+	// expands to its remembered leaf span.
+	rep.Partial = s.missingFor(b, frameMissing, 0)
 	if err := emit(rep); err != nil {
 		return err
 	}
@@ -815,11 +837,9 @@ func (c *Collector) closeBoundary(s *session, b int64, emit func(*core.Report) e
 			return err
 		}
 	}
+	s.acked = b
+	c.ackChildren(s)
 	for id, st := range s.ag {
-		if st.ackCh != nil {
-			pushLatest(st.ackCh, b)
-			c.met.Agent(id).SetLastAcked(b)
-		}
 		c.met.Agent(id).SetLag(s.emitted - st.emittedAtAbsorb)
 	}
 	return nil
@@ -853,18 +873,24 @@ func (c *Collector) handleEvent(s *session, ev event, ctx context.Context) error
 		if ev.gen != st.gen {
 			return nil // stale connection; its frames replay on the new one
 		}
+		if ev.frame.spanLen > 0 {
+			// The agent is itself a relay; remember its leaf span so
+			// Partial attribution can name its leaves if it goes silent.
+			st.spanLo, st.spanLen = ev.frame.spanLo, ev.frame.spanLen
+		}
 		if ev.boundary <= s.lastClosed || ev.boundary <= st.tail() {
-			// Already held or already closed: drop and re-ack so the
-			// agent trims its replay buffer.
+			// Already held or already closed: drop and re-ack (up to the
+			// settled line — never past an upstream ack a relay is still
+			// waiting for) so the agent trims its replay buffer.
 			if ev.boundary > st.absorbed && ev.boundary <= s.lastClosed {
 				c.met.Agent(ev.id).IncLateDrops()
 			} else {
 				c.met.Agent(ev.id).IncDupDrops()
 			}
 			st.refund()
-			if st.ackCh != nil && s.lastClosed > 0 {
-				pushLatest(st.ackCh, s.lastClosed)
-				c.met.Agent(ev.id).SetLastAcked(s.lastClosed)
+			if st.ackCh != nil && s.acked > 0 {
+				pushLatest(st.ackCh, s.acked)
+				c.met.Agent(ev.id).SetLastAcked(s.acked)
 			}
 			return nil
 		}
@@ -907,6 +933,16 @@ func (c *Collector) handleEvent(s *session, ev event, ctx context.Context) error
 			if st.blocks(c.cc.Policy) && st.status != statusLive {
 				st.status = statusDead
 				c.met.Agent(id).SetStatus(metrics.StatusDead)
+			}
+		}
+	case evUpstreamAck:
+		c.met.SetFramesHeld(int64(c.fwd.agent.unackedFrames()))
+		if c.fwd.ckptPath == "" {
+			// Ack-after-upstream: children settle only once the merged
+			// frames containing their boundaries are acked by the parent.
+			if line := min(ev.boundary, s.lastClosed); line > s.acked {
+				s.acked = line
+				c.ackChildren(s)
 			}
 		}
 	}

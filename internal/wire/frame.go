@@ -52,6 +52,14 @@ const (
 	// redials and resends the Bye, keeping the collector from holding a
 	// finished session open for an agent that will never return.
 	frameByeOK = 8
+	// frameRelayInterval carries one merged interval shipped by a relay
+	// node (see Relay): the grid boundary and codec version as in
+	// frameOpenInterval, then a relay header — the half-open span of
+	// global leaf IDs the relay aggregates and the ascending in-span
+	// leaf IDs this boundary closed without — followed by the merged
+	// open-interval body. The span lets the root attribute Partial
+	// reports (and a silent relay) to leaf agents instead of relay IDs.
+	frameRelayInterval = 9
 )
 
 // Error codes carried by frameError.

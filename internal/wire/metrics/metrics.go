@@ -134,9 +134,11 @@ func (a *AgentMetrics) view() agentView {
 // process-global registry (which a multi-session test process must not
 // share).
 type Session struct {
-	lastClosed atomic.Int64
-	emitted    atomic.Int64
-	agents     []AgentMetrics
+	lastClosed    atomic.Int64
+	emitted       atomic.Int64
+	framesRelayed atomic.Int64
+	framesHeld    atomic.Int64
+	agents        []AgentMetrics
 }
 
 // NewSession builds a session for the given number of agents.
@@ -180,10 +182,31 @@ func (s *Session) Emitted() int64 {
 	return s.emitted.Load()
 }
 
+// IncFramesRelayed counts a merged interval frame a relay actually
+// shipped upstream (boundaries a resumed relay re-closed but the parent
+// already held are not counted).
+func (s *Session) IncFramesRelayed() {
+	if s != nil {
+		s.framesRelayed.Add(1)
+	}
+}
+
+// SetFramesHeld records how many shipped-but-unacked frames the relay's
+// upstream face currently holds in its replay buffer — the boundaries a
+// relay crash would have to recover from its checkpoint or its
+// children's replays.
+func (s *Session) SetFramesHeld(n int64) {
+	if s != nil {
+		s.framesHeld.Store(n)
+	}
+}
+
 // sessionView is the JSON shape of the session.
 type sessionView struct {
 	LastClosedBoundary int64       `json:"last_closed_boundary"`
 	ReportsEmitted     int64       `json:"reports_emitted"`
+	FramesRelayed      int64       `json:"frames_relayed"`
+	FramesHeld         int64       `json:"frames_held"`
 	Agents             []agentView `json:"agents"`
 }
 
@@ -191,6 +214,8 @@ func (s *Session) view() sessionView {
 	v := sessionView{
 		LastClosedBoundary: s.lastClosed.Load(),
 		ReportsEmitted:     s.emitted.Load(),
+		FramesRelayed:      s.framesRelayed.Load(),
+		FramesHeld:         s.framesHeld.Load(),
 		Agents:             make([]agentView, len(s.agents)),
 	}
 	for i := range s.agents {

@@ -8,7 +8,7 @@
 //	anomalyx -in trace.nf5 [-interval 15m] [-minsup N | -relsup 0.05]
 //	         [-miner apriori|fp-growth|eclat] [-prefilter union|intersection]
 //	         [-bins 1024] [-clones 3] [-votes 3] [-alpha 3] [-top 20]
-//	         [-shards N] [-workers N] [-v]
+//	         [-shards N] [-workers N] [-pipeline-depth N] [-v]
 //
 //	anomalyx -mode agent -in part0.nf5 -connect host:4711 -agent-id 0 [-shards N] ...
 //	anomalyx -mode collector -listen :4711 -agents 2 ...
@@ -20,7 +20,10 @@
 // detector updates, prefilter scan, and (for -miner eclat) the miner's
 // equivalence-class search out over N goroutines (0 = GOMAXPROCS).
 // Reports are byte-identical to an unsharded single-worker run in every
-// combination.
+// combination. With -pipeline-depth N > 1 the engine additionally
+// overlaps each interval's close (detection + extraction) with the next
+// interval's ingestion, keeping up to N intervals open at once; reports
+// still arrive in interval order, byte-identical to -pipeline-depth 1.
 //
 // The agent and collector modes split that same computation across
 // machines: each agent streams its own trace partition through a local
@@ -79,6 +82,7 @@ type options struct {
 	train    int
 	shards   int
 	workers  int
+	depth    int
 	top      int
 	verbose  bool
 
@@ -117,6 +121,7 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.train, "train", 12, "training intervals before alarms may fire")
 	fs.IntVar(&o.shards, "shards", 1, "hash-partitioned pipeline shards (0 = GOMAXPROCS)")
 	fs.IntVar(&o.workers, "workers", 0, "per-pipeline worker goroutines for detector, prefilter, and eclat fan-out (0 = GOMAXPROCS, 1 = sequential)")
+	fs.IntVar(&o.depth, "pipeline-depth", 1, "measurement intervals open at once: 1 closes intervals inline, N > 1 overlaps up to N-1 interval closes with ingestion (reports stay byte-identical)")
 	fs.IntVar(&o.top, "top", 20, "item-sets to print per alarm")
 	fs.BoolVar(&o.verbose, "v", false, "print every interval, not only alarms")
 	fs.StringVar(&o.metricsAddr, "metrics", "", "serve expvar session metrics over HTTP on this address (collector mode)")
@@ -128,6 +133,9 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&o.retryBase, "retry-base", 0, "base redial backoff delay (0 = default 100ms) (agent mode)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if o.depth < 1 {
+		return nil, fmt.Errorf("anomalyx: -pipeline-depth must be >= 1, got %d", o.depth)
 	}
 	switch o.mode {
 	case "run":
@@ -215,8 +223,9 @@ func (o *options) engineConfig() (anomalyx.EngineConfig, error) {
 		return anomalyx.EngineConfig{}, fmt.Errorf("unknown prefilter %q", o.prefilt)
 	}
 	return anomalyx.EngineConfig{
-		Pipeline:    cfg,
-		IntervalLen: o.interval,
+		Pipeline:      cfg,
+		IntervalLen:   o.interval,
+		PipelineDepth: o.depth,
 	}, nil
 }
 

@@ -19,15 +19,22 @@ func TestParseArgsFlagPlumbing(t *testing.T) {
 	o, err := parseArgs([]string{
 		"-in", "trace.nf5", "-shards", "4", "-workers", "2", "-miner", "eclat",
 		"-prefilter", "intersection", "-interval", "5m", "-bins", "256",
-		"-train", "3", "-minsup", "11", "-top", "7", "-v",
+		"-train", "3", "-minsup", "11", "-top", "7", "-pipeline-depth", "3", "-v",
 	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.in != "trace.nf5" || o.shards != 4 || o.workers != 2 || o.miner != "eclat" ||
 		o.prefilt != "intersection" || o.interval != 5*time.Minute || o.bins != 256 ||
-		o.train != 3 || o.minsup != 11 || o.top != 7 || !o.verbose {
+		o.train != 3 || o.minsup != 11 || o.top != 7 || o.depth != 3 || !o.verbose {
 		t.Fatalf("flags not plumbed: %+v", o)
+	}
+	cfg, err := o.engineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PipelineDepth != 3 {
+		t.Fatalf("pipeline depth not plumbed into engine config: %+v", cfg)
 	}
 }
 
@@ -36,7 +43,7 @@ func TestParseArgsDefaultsAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.shards != 1 || o.workers != 0 || o.miner != "apriori" || o.prefilt != "union" {
+	if o.shards != 1 || o.workers != 0 || o.miner != "apriori" || o.prefilt != "union" || o.depth != 1 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
 	if _, err := parseArgs(nil, io.Discard); err == nil {
@@ -44,6 +51,9 @@ func TestParseArgsDefaultsAndErrors(t *testing.T) {
 	}
 	if _, err := parseArgs([]string{"-no-such-flag"}, io.Discard); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+	if _, err := parseArgs([]string{"-in", "x", "-pipeline-depth", "0"}, io.Discard); err == nil {
+		t.Fatal("-pipeline-depth 0 accepted")
 	}
 }
 
@@ -161,6 +171,7 @@ func TestRunShardsWorkersDeterminism(t *testing.T) {
 		{"-shards", "2", "-workers", "2"},
 		{"-shards", "4", "-workers", "4"},
 		{"-shards", "2", "-workers", "0", "-miner", "eclat"},
+		{"-shards", "2", "-workers", "2", "-pipeline-depth", "3"},
 	} {
 		got, intervals, alarms := runWith(combo...)
 		if intervals != wantIntervals || alarms != wantAlarms {

@@ -124,6 +124,17 @@ type Pipeline struct {
 	// flow.Buffer. Rows append in observation order, and every consumer —
 	// prefilter scan, snapshot, wire encode — walks it column-wise.
 	buffer flow.Buffer
+
+	// selfGroup is the single-element group BeginClose drains, built once
+	// so the pipelined hot path allocates nothing per close.
+	selfGroup []*Pipeline
+
+	// spares is the freelist of reset interval states (clone histograms +
+	// flow buffers) cycled through pipelined closes; spareMu guards it
+	// because Finish recycles from the close worker while BeginClose pops
+	// from the ingest goroutine.
+	spareMu sync.Mutex
+	spares  []intervalState
 }
 
 // New builds a pipeline from cfg.
@@ -143,7 +154,9 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{cfg: cfg, bank: bank}, nil
+	p := &Pipeline{cfg: cfg, bank: bank}
+	p.selfGroup = []*Pipeline{p}
+	return p, nil
 }
 
 // Config returns the pipeline's effective configuration.
@@ -343,10 +356,14 @@ func EndIntervalGroup(group []*Pipeline) (*Report, error) {
 		defer p.mu.Unlock()
 	}
 	primary := group[0]
-	for _, sh := range group[1:] {
-		if err := primary.bank.Absorb(sh.bank); err != nil {
-			return nil, err
-		}
+	siblings := make([]*detector.Bank, len(group)-1)
+	for i, sh := range group[1:] {
+		siblings[i] = sh.bank
+	}
+	// Parallel fold (one task per detector) — byte-identical to absorbing
+	// each shard in turn, without serializing the merge on this goroutine.
+	if err := primary.bank.AbsorbGroup(siblings); err != nil {
+		return nil, err
 	}
 	det := primary.bank.EndInterval()
 	total := 0

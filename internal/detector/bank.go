@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"anomalyx/internal/flow"
+	"anomalyx/internal/histogram"
 )
 
 // BankConfig parameterizes a bank of per-feature detectors — the "d
@@ -187,7 +188,12 @@ func (b *Bank) EndInterval() BankResult {
 	b.runTasks(len(b.detectors), func(i int) func() {
 		return func() { results[i] = b.detectors[i].EndInterval() }
 	})
+	return mergeResults(results)
+}
 
+// mergeResults consolidates per-detector interval results in feature
+// order (union across detectors, §II-A).
+func mergeResults(results []Result) BankResult {
 	res := BankResult{Meta: NewMetaData()}
 	for _, r := range results {
 		res.Interval = r.Interval
@@ -200,6 +206,102 @@ func (b *Bank) EndInterval() BankResult {
 		}
 	}
 	return res
+}
+
+// SwapInterval exchanges every detector's current-interval clone set for
+// the corresponding entry of repl — a reset set previously returned by
+// SwapInterval, or nil to allocate fresh sets — and returns the drained
+// sets, index-aligned with Detectors(). repl's outer slice is reused as
+// the return container, so a caller cycling sets through a freelist
+// allocates nothing. The swap takes the bank mutex and is therefore
+// atomic with respect to ObserveBatch; the expensive close math runs
+// later via FinishInterval.
+func (b *Bank) SwapInterval(repl [][]*histogram.Histogram) [][]*histogram.Histogram {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if repl == nil {
+		repl = make([][]*histogram.Histogram, len(b.detectors))
+	}
+	for i, d := range b.detectors {
+		repl[i] = d.SwapInterval(repl[i])
+	}
+	return repl
+}
+
+// FinishInterval closes the interval whose clone sets were drained by
+// SwapInterval. It deliberately does NOT take the bank mutex: cur is
+// private to the caller and each detector's interval history is touched
+// only by finish calls, so detection here may overlap ObserveBatch on
+// the swapped-in sets. The caller must serialize FinishInterval calls in
+// swap order — the KL scheme compares each interval against the previous
+// one. cur's histograms are reset in place for recycling.
+func (b *Bank) FinishInterval(cur [][]*histogram.Histogram) BankResult {
+	results := make([]Result, len(b.detectors))
+	b.runTasks(len(b.detectors), func(i int) func() {
+		return func() { results[i] = b.detectors[i].FinishInterval(cur[i]) }
+	})
+	return mergeResults(results)
+}
+
+// AbsorbGroup folds every sibling bank's in-progress interval into b in
+// sibling order, fanning one task per detector across the worker pool —
+// detector columns are independent, so the parallel merge is
+// byte-identical to absorbing each sibling sequentially. This is the
+// cross-shard merge of the interval close; serializing it on the
+// closing goroutine was the scaling bottleneck the multi-core curves
+// exposed (every added shard lengthened the serial section by a full
+// clones × bins fold).
+func (b *Bank) AbsorbGroup(others []*Bank) error {
+	// Lock in caller order: the fold goes toward a single primary bank
+	// (shard merges), so no cycle can form.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, o := range others {
+		if o == b {
+			return fmt.Errorf("detector: bank cannot absorb itself")
+		}
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if len(b.detectors) != len(o.detectors) {
+			return fmt.Errorf("detector: absorb across banks with %d and %d detectors",
+				len(b.detectors), len(o.detectors))
+		}
+	}
+	errs := make([]error, len(b.detectors))
+	b.runTasks(len(b.detectors), func(i int) func() {
+		return func() {
+			for _, o := range others {
+				if err := b.detectors[i].Absorb(o.detectors[i]); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeDrained folds sibling drained clone sets into dst in sibling
+// order, one task per detector on the worker pool — AbsorbGroup's
+// counterpart for the pipelined close, operating on sets returned by
+// SwapInterval instead of live banks. Like FinishInterval it takes no
+// bank mutex: every set involved is private to the caller. The sibling
+// histograms keep their counts; the caller resets them when recycling.
+func (b *Bank) MergeDrained(dst [][]*histogram.Histogram, siblings [][][]*histogram.Histogram) {
+	b.runTasks(len(dst), func(i int) func() {
+		return func() {
+			for _, sib := range siblings {
+				for c, h := range sib[i] {
+					dst[i][c].Merge(h)
+				}
+			}
+		}
+	})
 }
 
 // Absorb folds other's in-progress interval into b — each detector

@@ -165,13 +165,25 @@ func New(cfg Config) (*Detector, error) {
 		return nil, err
 	}
 	d := &Detector{cfg: cfg, metric: cfg.metricFunc()}
+	d.cur = newCloneSet(cfg)
 	for c := 0; c < cfg.Clones; c++ {
-		fn := hash.New(cfg.Seed ^ uint64(cfg.Feature)<<32 ^ uint64(c)*0x9e3779b97f4a7c15)
-		d.cur = append(d.cur, histogram.New(cfg.Bins, fn, true))
 		d.prev = append(d.prev, make([]uint64, cfg.Bins))
 	}
 	d.klPrev = make([]float64, cfg.Clones)
 	return d, nil
+}
+
+// newCloneSet builds the per-clone value-tracked histograms for cfg. The
+// hash functions are derived from (Seed, Feature, clone) only, so two
+// sets built from the same effective Config are interchangeable — the
+// property the pipelined close's recycling freelist relies on.
+func newCloneSet(cfg Config) []*histogram.Histogram {
+	set := make([]*histogram.Histogram, cfg.Clones)
+	for c := range set {
+		fn := hash.New(cfg.Seed ^ uint64(cfg.Feature)<<32 ^ uint64(c)*0x9e3779b97f4a7c15)
+		set[c] = histogram.New(cfg.Bins, fn, true)
+	}
+	return set
 }
 
 // Config returns the detector's effective configuration.
@@ -251,7 +263,34 @@ func (d *Detector) Threshold() (float64, bool) {
 // difference exceeds the threshold, identifies anomalous bins, votes on
 // feature values, and rotates the histograms. The previous interval
 // becomes the new reference (§II-C: no training or recalibration).
-func (d *Detector) EndInterval() Result {
+func (d *Detector) EndInterval() Result { return d.FinishInterval(d.cur) }
+
+// SwapInterval exchanges the current-interval histograms for repl — a
+// reset clone set previously returned by SwapInterval (or nil, which
+// allocates a fresh set) — and returns the set that was accumulating.
+// This is the cheap synchronous half of a pipelined close: the caller
+// drains the open interval here and runs the expensive detection math
+// later via FinishInterval while new records flow into repl. The
+// returned set must be passed to exactly one FinishInterval call, and
+// FinishInterval calls must happen in swap order — the KL scheme is
+// sequential (each interval is compared against the previous one).
+func (d *Detector) SwapInterval(repl []*histogram.Histogram) []*histogram.Histogram {
+	if repl == nil {
+		repl = newCloneSet(d.cfg)
+	}
+	cur := d.cur
+	d.cur = repl
+	return cur
+}
+
+// FinishInterval runs the interval close against cur, a clone set drained
+// by SwapInterval (EndInterval passes the live set directly). It computes
+// the per-clone distances against the detector's history, rotates that
+// history, and resets cur in place so the caller can recycle it. Calls
+// must be sequential and in swap order; FinishInterval never touches
+// d.cur, so it may run concurrently with Observe/ObserveBatch on the
+// swapped-in set.
+func (d *Detector) FinishInterval(cur []*histogram.Histogram) Result {
 	res := Result{
 		Feature:  d.cfg.Feature,
 		Interval: d.interval,
@@ -262,7 +301,7 @@ func (d *Detector) EndInterval() Result {
 	res.Trained = trained
 
 	votes := make(map[uint64]int)
-	for c, h := range d.cur {
+	for c, h := range cur {
 		rep := &res.Clones[c]
 		if d.havePrev {
 			rep.KL = d.metric(h.Counts(), d.prev[c])
@@ -300,13 +339,14 @@ func (d *Detector) EndInterval() Result {
 		slices.Sort(res.Meta)
 	}
 
-	d.rotate(res)
+	d.rotate(cur, res)
 	return res
 }
 
-// rotate archives the interval and prepares the next one.
-func (d *Detector) rotate(res Result) {
-	for c, h := range d.cur {
+// rotate archives the interval accumulated in cur and prepares the next
+// one, resetting cur's histograms in place.
+func (d *Detector) rotate(cur []*histogram.Histogram, res Result) {
+	for c, h := range cur {
 		copy(d.prev[c], h.Counts())
 		if d.havePrev {
 			if d.haveKL {

@@ -34,6 +34,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -64,6 +65,22 @@ type Config struct {
 	// Buffer is the input-channel capacity — the backpressure bound.
 	// Submit blocks once Buffer messages are queued (default 8192).
 	Buffer int
+	// PipelineDepth is the maximum number of measurement intervals the
+	// engine may have open at once: the interval accumulating records,
+	// plus up to PipelineDepth-1 drained closes finishing (detection +
+	// extraction) on an asynchronous close worker. 1 (the default) runs
+	// every close inline on the processing goroutine — today's fully
+	// synchronous behavior. Depths > 1 overlap the expensive close with
+	// the next interval's ingestion: each cut swaps the closed interval's
+	// state out of the hot path in O(1) and hands it to the worker, which
+	// finishes closes strictly in boundary order, so reports are
+	// byte-identical to the synchronous path (see PipelinedSink). Once
+	// PipelineDepth-1 closes are in flight, the next cut blocks — close
+	// backpressure propagates to Submit exactly like full input buffers.
+	// Depths > 1 require a sink implementing PipelinedSink (the built-in
+	// pipeline and sharded backends do); for other sinks the engine falls
+	// back to the synchronous close.
+	PipelineDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Buffer <= 0 {
 		c.Buffer = 8192
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 1
 	}
 	return c
 }
@@ -103,6 +123,22 @@ type Sink interface {
 type BoundarySink interface {
 	Sink
 	EndIntervalAt(boundary int64) (*core.Report, error)
+}
+
+// PipelinedSink is an optional Sink extension for backends whose
+// interval close splits into a cheap synchronous drain and a deferred
+// finish. BeginClose atomically swaps the open interval's state (clone
+// histograms + flow buffer) out of the hot path and returns a
+// core.PendingClose; the engine's close worker calls Finish — the
+// expensive detection + extraction — while the next interval's records
+// keep flowing. Finishes run strictly in drain order on one worker, the
+// ordering the sequential KL scheme requires, so reports stay
+// byte-identical to the synchronous path. core.Pipeline and
+// shard.ShardedPipeline implement it; the engine uses it only when
+// Config.PipelineDepth > 1.
+type PipelinedSink interface {
+	Sink
+	BeginClose() (*core.PendingClose, error)
 }
 
 // msg is one unit of the submit→process stream: a single record, a
@@ -388,6 +424,9 @@ func (e *Engine) run() {
 // carry the grid end of the first interval they close, so a BoundarySink
 // receives the absolute boundary of every closed interval.
 func (e *Engine) process() error {
+	if ps, ok := e.sink.(PipelinedSink); ok && e.cfg.PipelineDepth > 1 {
+		return e.processPipelined(ps)
+	}
 	batch := make([]flow.Record, 0, e.cfg.BatchSize)
 	bs, _ := e.sink.(BoundarySink)
 	step := e.cfg.IntervalLen.Milliseconds()
@@ -443,4 +482,130 @@ func (e *Engine) process() error {
 	final := e.boundary
 	e.submitMu.Unlock()
 	return endInterval(final)
+}
+
+// pendingClose pairs a drained interval close with the grid boundary it
+// covers, for error attribution on the close worker.
+type pendingClose struct {
+	pc       *core.PendingClose
+	boundary int64
+}
+
+// processPipelined is the PipelineDepth > 1 variant of process: cuts
+// drain the closing interval in O(1) via PipelinedSink.BeginClose and
+// hand it to a single close-worker goroutine, which finishes closes
+// strictly in drain order and emits their reports — the ordered
+// completion queue. Ingestion continues on this goroutine while up to
+// PipelineDepth-1 finishes are in flight; a full close queue blocks the
+// next cut, propagating backpressure to Submit. The final flush at Close
+// drains the last interval, then joins the worker so every in-flight
+// report is emitted before Reports closes.
+func (e *Engine) processPipelined(ps PipelinedSink) error {
+	batch := make([]flow.Record, 0, e.cfg.BatchSize)
+	step := e.cfg.IntervalLen.Milliseconds()
+
+	closeCh := make(chan pendingClose, e.cfg.PipelineDepth-1)
+	failed := make(chan struct{}) // closed by the worker on its first error
+	workerDone := make(chan struct{})
+	var workerErr error // written before failed closes, read after workerDone
+	go func() {
+		defer close(workerDone)
+		for pc := range closeCh {
+			if workerErr != nil {
+				continue // drop: the engine is terminating
+			}
+			// The channel send that delivered pc promoted this goroutine to
+			// the scheduler's next slot, ahead of the producer the cut just
+			// unblocked. Yield before the long finish so that on saturated
+			// GOMAXPROCS the ingest path resumes first — deferred work must
+			// never cut the submit-latency line it exists to shorten.
+			runtime.Gosched()
+			rep, err := pc.pc.Finish()
+			if err != nil {
+				workerErr = fmt.Errorf("engine: closing interval at boundary %d: %w", pc.boundary, err)
+				close(failed)
+				continue
+			}
+			e.out <- rep
+		}
+	}()
+	// join stops the worker, waits for in-flight finishes, and returns
+	// the first worker error — every return path funnels through it so
+	// reports of completed closes are always emitted before Reports
+	// closes.
+	join := func() error {
+		close(closeCh)
+		<-workerDone
+		return workerErr
+	}
+
+	flushBatch := func() {
+		ps.ObserveBatch(batch)
+		batch = batch[:0]
+	}
+	beginClose := func(boundary int64) error {
+		flushBatch()
+		pc, err := ps.BeginClose()
+		if err != nil {
+			return fmt.Errorf("engine: draining interval at boundary %d: %w", boundary, err)
+		}
+		select {
+		case closeCh <- pendingClose{pc, boundary}:
+		case <-failed:
+			// The worker has failed; drop this drain and let the caller
+			// observe failed on its next check.
+		}
+		return nil
+	}
+
+	for {
+		var m msg
+		var ok bool
+		// Also watch for worker failure while idle, so the engine settles
+		// Err and closes Reports promptly even if producers go quiet.
+		select {
+		case m, ok = <-e.in:
+		case <-failed:
+			return join()
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case m.cuts > 0:
+			for i := 0; i < m.cuts; i++ {
+				select {
+				case <-failed:
+					return join()
+				default:
+				}
+				if err := beginClose(m.boundary + int64(i)*step); err != nil {
+					if werr := join(); werr != nil {
+						return werr
+					}
+					return err
+				}
+			}
+		case m.recs != nil:
+			flushBatch()
+			ps.ObserveBatch(m.recs)
+		default:
+			batch = append(batch, m.rec)
+			if len(batch) >= e.cfg.BatchSize {
+				flushBatch()
+			}
+		}
+	}
+	// Final flush, as in process: drain the in-progress interval at the
+	// submit side's settled grid end, then join the worker.
+	e.submitMu.Lock()
+	final := e.boundary
+	e.submitMu.Unlock()
+	if err := beginClose(final); err != nil {
+		if werr := join(); werr != nil {
+			return werr
+		}
+		return err
+	}
+	return join()
 }

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"anomalyx/internal/core"
+	"anomalyx/internal/flow"
+)
+
+// runEngine streams recs through one engine built from cfg and returns
+// the emitted reports in order.
+func runEngine(t *testing.T, cfg Config, recs []flow.Record) []*core.Report {
+	t.Helper()
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*core.Report
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range eng.Reports() {
+			reports = append(reports, rep)
+		}
+	}()
+	if _, err := eng.SubmitBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return reports
+}
+
+// diffReports fails the test on the first divergence between two report
+// sequences.
+func diffReports(t *testing.T, got, want []*core.Report) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("pipelined engine emitted %d reports, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("interval %d: pipelined report diverged\ngot:  %+v\nwant: %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPipelinedMatchesSyncGrid pins the tentpole determinism bar: with
+// PipelineDepth > 1 the asynchronous close worker must emit reports
+// byte-identical to the synchronous inline close, across the full
+// Workers × shards grid (run under -race).
+func TestPipelinedMatchesSyncGrid(t *testing.T) {
+	stream := makeStream(11, 8, 1200, 7)
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				cfg := Config{Pipeline: testConfig(workers), Shards: shards, IntervalLen: intervalLen}
+				want := runEngine(t, cfg, stream)
+				cfg.PipelineDepth = 3
+				got := runEngine(t, cfg, stream)
+				diffReports(t, got, want)
+				alarmed := false
+				for _, rep := range want {
+					if rep.Alarm {
+						alarmed = true
+					}
+				}
+				if !alarmed {
+					t.Error("no alarm in the stream; extraction path not compared")
+				}
+			})
+		}
+	}
+}
+
+// TestPipelinedDepthSweep varies the close-queue depth on one grid cell:
+// any depth must reproduce the synchronous reports exactly, in order.
+func TestPipelinedDepthSweep(t *testing.T) {
+	stream := makeStream(12, 8, 900, 7)
+	base := Config{Pipeline: testConfig(2), Shards: 2, IntervalLen: intervalLen}
+	want := runEngine(t, base, stream)
+	for _, depth := range []int{2, 4, 8} {
+		cfg := base
+		cfg.PipelineDepth = depth
+		diffReports(t, runEngine(t, cfg, stream), want)
+	}
+}
+
+// TestPipelinedGapsAndClockJump drives the counted-cut paths through the
+// close worker: multi-interval gaps (one cut message closing several
+// empty intervals) and a clock jump past maxGapIntervals (close once,
+// re-seed the grid) must both match the synchronous close.
+func TestPipelinedGapsAndClockJump(t *testing.T) {
+	stream := makeStream(13, 3, 600, -1)
+	step := intervalLen.Milliseconds()
+	last := stream[len(stream)-1].Start
+	// A 5-interval quiet gap, then one record, then a clock jump far past
+	// the gap bound.
+	rec := stream[0]
+	rec.Start = last + 5*step
+	rec.End = rec.Start
+	stream = append(stream, rec)
+	rec.Start += int64(maxGapIntervals+10) * step
+	rec.End = rec.Start
+	stream = append(stream, rec)
+
+	cfg := Config{Pipeline: testConfig(1), IntervalLen: intervalLen}
+	want := runEngine(t, cfg, stream)
+	cfg.PipelineDepth = 4
+	diffReports(t, runEngine(t, cfg, stream), want)
+}
+
+// TestPipelinedErrorSurfacesOnLiveStream mirrors the synchronous error
+// contract for the close worker: a Finish failure must settle Err, close
+// Reports early, and never wedge producers that keep submitting.
+func TestPipelinedErrorSurfacesOnLiveStream(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Miner = errMiner{}
+	eng, err := New(Config{Pipeline: cfg, IntervalLen: intervalLen, Buffer: 64, PipelineDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAtClose := make(chan error, 1)
+	go func() {
+		for range eng.Reports() {
+		}
+		errAtClose <- eng.Err()
+	}()
+	for _, rec := range makeStream(2, 8, 3000, 6) {
+		eng.Submit(rec) // must not block after the close worker dies
+	}
+	if err := eng.Close(); err == nil {
+		t.Fatal("Close error = nil, want the mining failure")
+	}
+	if err := <-errAtClose; err == nil {
+		t.Fatal("Err() was nil when Reports closed")
+	}
+}
+
+// countingSink is a minimal non-pipelined Sink: PipelineDepth > 1 with a
+// sink that cannot split its close must fall back to the synchronous
+// path rather than fail or change behavior.
+type countingSink struct {
+	flows  int
+	closes int
+}
+
+func (s *countingSink) ObserveBatch(recs []flow.Record) { s.flows += len(recs) }
+func (s *countingSink) EndInterval() (*core.Report, error) {
+	s.closes++
+	return &core.Report{Interval: s.closes - 1}, nil
+}
+func (s *countingSink) Close() {}
+
+func TestPipelinedFallsBackForPlainSink(t *testing.T) {
+	sink := &countingSink{}
+	eng, err := NewWithSink(Config{IntervalLen: intervalLen, PipelineDepth: 4}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range eng.Reports() {
+			n++
+		}
+		done <- n
+	}()
+	stream := makeStream(3, 4, 50, -1)
+	if _, err := eng.SubmitBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; got != 4 || sink.closes != 4 {
+		t.Fatalf("got %d reports / %d closes, want 4 / 4", got, sink.closes)
+	}
+	if sink.flows != len(stream) {
+		t.Fatalf("sink observed %d flows, want %d", sink.flows, len(stream))
+	}
+}

@@ -186,6 +186,18 @@ func (s *ShardedPipeline) EndInterval() (*core.Report, error) {
 	return core.EndIntervalGroup(s.shards)
 }
 
+// BeginClose drains the open interval from every shard in lockstep —
+// the pipelined counterpart of EndInterval. The drain swaps each shard's
+// clone histograms and flow buffer for reset recycled ones under the
+// sharded pipeline's lock; the returned PendingClose's Finish runs the
+// cross-shard merge, detection and extraction later, producing a report
+// byte-identical to EndInterval's (see core.BeginIntervalGroup).
+func (s *ShardedPipeline) BeginClose() (*core.PendingClose, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return core.BeginIntervalGroup(s.shards)
+}
+
 // ProcessInterval is the batch convenience: ObserveBatch all recs, then
 // EndInterval.
 func (s *ShardedPipeline) ProcessInterval(recs []flow.Record) (*core.Report, error) {

@@ -1,6 +1,8 @@
 // Package metrics is the collector's operational-visibility surface:
 // per-agent ack/lag/queue/reconnect counters updated by the wire
-// collector and exported in expvar format over HTTP.
+// collector and exported over HTTP — in expvar JSON format on every
+// path but /metrics, and in Prometheus text exposition format on
+// /metrics.
 //
 // Determinism note: metrics are observational only. The collector
 // writes them with atomic stores as the session progresses and nothing
@@ -10,7 +12,9 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 )
 
@@ -236,11 +240,86 @@ func (s *Session) String() string {
 	return string(b)
 }
 
-// Handler returns an HTTP handler serving the session in expvar's
-// /debug/vars shape ({"collector": {...}}) on every path.
+// statuses is the fixed status vocabulary, in exposition order, for
+// the one-hot anomalyx_agent_status metric.
+var statuses = []string{StatusPending, StatusLive, StatusDown, StatusDead, StatusBye}
+
+// promFamily writes one metric family header pair.
+func promFamily(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// PrometheusText renders the session in Prometheus text exposition
+// format (version 0.0.4): the same counters the JSON view carries, as
+// session-level samples plus per-agent samples labeled agent="<id>".
+// Connection status is exposed one-hot over the fixed status
+// vocabulary. Agents appear in ID order, so the output for a settled
+// session is reproducible.
+func (s *Session) PrometheusText() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	v := s.view()
+	promFamily(&b, "anomalyx_last_closed_boundary", "Boundary (ms) of the most recently closed interval.", "gauge")
+	fmt.Fprintf(&b, "anomalyx_last_closed_boundary %d\n", v.LastClosedBoundary)
+	promFamily(&b, "anomalyx_reports_emitted_total", "Reports emitted by this session.", "counter")
+	fmt.Fprintf(&b, "anomalyx_reports_emitted_total %d\n", v.ReportsEmitted)
+	promFamily(&b, "anomalyx_frames_relayed_total", "Merged interval frames a relay shipped upstream.", "counter")
+	fmt.Fprintf(&b, "anomalyx_frames_relayed_total %d\n", v.FramesRelayed)
+	promFamily(&b, "anomalyx_frames_held", "Shipped-but-unacked frames held for upstream replay.", "gauge")
+	fmt.Fprintf(&b, "anomalyx_frames_held %d\n", v.FramesHeld)
+
+	promFamily(&b, "anomalyx_agent_last_acked_boundary", "Boundary (ms) last acknowledged to the agent.", "gauge")
+	for i := range v.Agents {
+		fmt.Fprintf(&b, "anomalyx_agent_last_acked_boundary{agent=%q} %d\n", fmt.Sprint(i), v.Agents[i].LastAcked)
+	}
+	promFamily(&b, "anomalyx_agent_lag_intervals", "Closed intervals the agent is behind the session.", "gauge")
+	for i := range v.Agents {
+		fmt.Fprintf(&b, "anomalyx_agent_lag_intervals{agent=%q} %d\n", fmt.Sprint(i), v.Agents[i].Lag)
+	}
+	promFamily(&b, "anomalyx_agent_queue_depth", "Frames received from the agent but not yet absorbed.", "gauge")
+	for i := range v.Agents {
+		fmt.Fprintf(&b, "anomalyx_agent_queue_depth{agent=%q} %d\n", fmt.Sprint(i), v.Agents[i].QueueDepth)
+	}
+	promFamily(&b, "anomalyx_agent_reconnects_total", "Handshakes beyond the agent's first.", "counter")
+	for i := range v.Agents {
+		fmt.Fprintf(&b, "anomalyx_agent_reconnects_total{agent=%q} %d\n", fmt.Sprint(i), v.Agents[i].Reconnects)
+	}
+	promFamily(&b, "anomalyx_agent_late_drops_total", "Frames dropped because their interval closed without this agent.", "counter")
+	for i := range v.Agents {
+		fmt.Fprintf(&b, "anomalyx_agent_late_drops_total{agent=%q} %d\n", fmt.Sprint(i), v.Agents[i].LateDrops)
+	}
+	promFamily(&b, "anomalyx_agent_dup_drops_total", "Frames dropped as already-held duplicates after a reconnect.", "counter")
+	for i := range v.Agents {
+		fmt.Fprintf(&b, "anomalyx_agent_dup_drops_total{agent=%q} %d\n", fmt.Sprint(i), v.Agents[i].DupDrops)
+	}
+	promFamily(&b, "anomalyx_agent_status", "Agent connection status, one-hot over the status vocabulary.", "gauge")
+	for i := range v.Agents {
+		for _, st := range statuses {
+			hot := 0
+			if v.Agents[i].Status == st {
+				hot = 1
+			}
+			fmt.Fprintf(&b, "anomalyx_agent_status{agent=%q,status=%q} %d\n", fmt.Sprint(i), st, hot)
+		}
+	}
+	return b.String()
+}
+
+// Handler returns an HTTP handler serving the session both ways:
+// Prometheus text exposition on /metrics, and expvar's /debug/vars
+// shape ({"collector": {...}}) on every other path — so one listener
+// serves dashboards scraping either format.
 func (s *Session) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(s.PrometheusText()))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.Write([]byte("{\n\"collector\": " + s.String() + "\n}\n"))
 	})
+	return mux
 }

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -96,12 +99,13 @@ func TestNilSafety(t *testing.T) {
 	}
 }
 
-// TestHandler pins the /debug/vars-compatible HTTP shape.
+// TestHandler pins the /debug/vars-compatible HTTP shape, served on
+// every path except /metrics.
 func TestHandler(t *testing.T) {
 	s := NewSession(1)
 	s.Agent(0).SetStatus(StatusBye)
 	rec := httptest.NewRecorder()
-	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
 		t.Fatalf("Content-Type = %q", ct)
 	}
@@ -117,5 +121,116 @@ func TestHandler(t *testing.T) {
 	}
 	if len(v.Collector.Agents) != 1 || v.Collector.Agents[0].Status != StatusBye {
 		t.Fatalf("handler view = %+v", v)
+	}
+}
+
+// promSampleRe matches one Prometheus text-format sample line: a legal
+// metric name, an optional label set of quoted values, and an integer
+// value (every counter here is integral).
+var promSampleRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? (-?\d+)$`)
+
+// promHeaderRe matches a # HELP or # TYPE family header.
+var promHeaderRe = regexp.MustCompile(
+	`^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge))$`)
+
+// TestPrometheusExposition scrapes /metrics as a Prometheus server
+// would: every line must be a well-formed header or sample, every
+// sample's family must have been declared by a preceding # TYPE,
+// counters must carry the _total suffix, and the sampled values must
+// match what was recorded — including the one-hot status vector.
+func TestPrometheusExposition(t *testing.T) {
+	s := NewSession(2)
+	s.SetLastClosed(1800000)
+	s.IncEmitted()
+	s.IncFramesRelayed()
+	s.SetFramesHeld(3)
+	a0 := s.Agent(0)
+	a0.SetStatus(StatusLive)
+	a0.SetLastAcked(1800000)
+	a0.SetLag(1)
+	a0.SetQueueDepth(4)
+	a0.IncReconnects()
+	a0.IncLateDrops()
+	a0.IncDupDrops()
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatal("exposition does not end in a newline")
+	}
+
+	typed := map[string]string{} // family -> counter|gauge
+	samples := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			m := promHeaderRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed header line %q", line)
+			}
+			fields := strings.Fields(m[1])
+			if fields[0] == "TYPE" {
+				typed[fields[1]] = fields[2]
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := m[1]
+		typ, ok := typed[name]
+		if !ok {
+			t.Fatalf("sample %q precedes its # TYPE declaration", line)
+		}
+		if strings.HasSuffix(name, "_total") != (typ == "counter") {
+			t.Fatalf("metric %q: _total suffix and type %q disagree", name, typ)
+		}
+		v, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		samples[name+m[2]] = v
+	}
+
+	for key, want := range map[string]int64{
+		"anomalyx_last_closed_boundary":                     1800000,
+		"anomalyx_reports_emitted_total":                    1,
+		"anomalyx_frames_relayed_total":                     1,
+		"anomalyx_frames_held":                              3,
+		`anomalyx_agent_last_acked_boundary{agent="0"}`:     1800000,
+		`anomalyx_agent_lag_intervals{agent="0"}`:           1,
+		`anomalyx_agent_queue_depth{agent="0"}`:             4,
+		`anomalyx_agent_reconnects_total{agent="0"}`:        1,
+		`anomalyx_agent_late_drops_total{agent="0"}`:        1,
+		`anomalyx_agent_dup_drops_total{agent="0"}`:         1,
+		`anomalyx_agent_reconnects_total{agent="1"}`:        0,
+		`anomalyx_agent_status{agent="0",status="live"}`:    1,
+		`anomalyx_agent_status{agent="0",status="dead"}`:    0,
+		`anomalyx_agent_status{agent="1",status="pending"}`: 1,
+	} {
+		got, ok := samples[key]
+		if !ok {
+			t.Errorf("exposition is missing %s", key)
+		} else if got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+	// One-hot invariant: each agent's status vector sums to exactly 1.
+	for agent := 0; agent < 2; agent++ {
+		sum := int64(0)
+		for _, st := range statuses {
+			sum += samples[`anomalyx_agent_status{agent="`+strconv.Itoa(agent)+`",status="`+st+`"}`]
+		}
+		if sum != 1 {
+			t.Errorf("agent %d status vector sums to %d, want 1", agent, sum)
+		}
+	}
+	if s = nil; s.PrometheusText() != "" {
+		t.Error("nil session exposition not empty")
 	}
 }
